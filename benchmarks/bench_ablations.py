@@ -1,0 +1,153 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Three ablations the paper motivates but does not isolate in a figure:
+
+* **Saliency criterion** — class-aware Taylor score vs. pure magnitude vs.
+  random, at matched sparsity (Sec. III-D's motivation for CASS).
+* **Iterative vs. one-shot pruning** — Algorithm 1's gradual schedule vs.
+  pruning to the final target in a single step (the layer-collapse argument).
+* **Straight-through estimator** — STE fine-tuning (dense weights keep
+  evolving) vs. masked-only updates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import build_user_loaders, make_dataset, sample_user_profile
+from repro.nn.models import resnet_tiny
+from repro.nn.models.base import prunable_layers
+from repro.nn.trainer import TrainConfig, Trainer
+from repro.pruning import CRISPConfig, CRISPPruner
+from repro.pruning.baselines import block_prune
+from repro.pruning.saliency import compute_saliency
+from repro.sparsity.nm import nm_mask
+
+
+def _setup(seed=0, num_classes=4, epochs=2):
+    dataset = make_dataset("synthetic-tiny", seed=seed)
+    profile = sample_user_profile(dataset, num_classes, seed=seed)
+    train_loader, val_loader = build_user_loaders(dataset, profile, batch_size=16, seed=seed)
+    model = resnet_tiny(num_classes=num_classes, input_size=dataset.image_size, seed=seed)
+    Trainer(model, TrainConfig(epochs=epochs, lr=0.05)).fit(train_loader)
+    return model, train_loader, val_loader
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_saliency_criteria(benchmark):
+    """Class-aware saliency vs magnitude vs random for N:M mask selection."""
+
+    def run():
+        from repro.nn.trainer import evaluate
+
+        results = {}
+        for criterion in ("class_aware", "magnitude", "random"):
+            model, train_loader, val_loader = _setup(seed=1)
+            saliency = compute_saliency(
+                criterion, model, batches=iter(train_loader), max_batches=2, seed=1
+            )
+            for name, layer in prunable_layers(model).items():
+                layer.set_reshaped_mask(nm_mask(saliency[name], 1, 4, axis=0))
+            Trainer(model, TrainConfig(epochs=1, lr=0.02)).fit(train_loader)
+            results[criterion] = evaluate(model, iter(val_loader))
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\nsaliency ablation (1:4 accuracy): {results}")
+    # Informed criteria should not lose to random selection by a wide margin.
+    informed = max(results["class_aware"], results["magnitude"])
+    assert informed >= results["random"] - 0.1
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_iterative_vs_one_shot(benchmark):
+    """Gradual sparsity ramp (Algorithm 1) vs one-shot pruning to the target."""
+
+    def run():
+        results = {}
+        for schedule, iterations in (("linear", 3), ("one_shot", 1)):
+            model, train_loader, val_loader = _setup(seed=2)
+            config = CRISPConfig(
+                n=2, m=4, block_size=8, target_sparsity=0.85,
+                iterations=iterations, finetune_epochs=1, schedule=schedule,
+                saliency_batches=2,
+            )
+            result = CRISPPruner(model, config).prune(train_loader, val_loader)
+            results[schedule] = {
+                "accuracy": result.final_accuracy,
+                "sparsity": result.final_sparsity,
+            }
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\niterative-vs-one-shot ablation: {results}")
+    assert results["linear"]["sparsity"] == pytest.approx(0.85, abs=0.05)
+    assert results["one_shot"]["sparsity"] == pytest.approx(0.85, abs=0.05)
+    # At this micro scale the accuracy difference between the schedules sits
+    # inside run-to-run noise, so the comparison is recorded (EXPERIMENTS.md)
+    # rather than asserted tightly; both runs must remain valid classifiers.
+    assert 0.0 <= results["linear"]["accuracy"] <= 1.0
+    assert 0.0 <= results["one_shot"]["accuracy"] <= 1.0
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_ste_vs_masked_updates(benchmark):
+    """Straight-through-estimator fine-tuning vs mask-respecting fine-tuning."""
+
+    def run():
+        results = {}
+        for use_ste in (True, False):
+            model, train_loader, val_loader = _setup(seed=3)
+            config = CRISPConfig(
+                n=2, m=4, block_size=8, target_sparsity=0.8,
+                iterations=2, finetune_epochs=1, use_ste=use_ste, saliency_batches=2,
+            )
+            result = CRISPPruner(model, config).prune(train_loader, val_loader)
+            results["ste" if use_ste else "masked"] = result.final_accuracy
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\nSTE ablation (accuracy at 80% sparsity): {results}")
+    assert all(0.0 <= acc <= 1.0 for acc in results.values())
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_uniform_vs_global_blocks(benchmark):
+    """CRISP's uniform blocks-per-row constraint vs unconstrained global block
+    selection, at matched sparsity (the load-balancing design choice)."""
+
+    def run():
+        from repro.nn.trainer import evaluate
+        from repro.sparsity.masks import check_block_uniformity
+
+        model, train_loader, val_loader = _setup(seed=4)
+        crisp_model, block_model = model, None
+
+        config = CRISPConfig(
+            n=2, m=4, block_size=8, target_sparsity=0.8,
+            iterations=2, finetune_epochs=1, saliency_batches=2,
+        )
+        crisp_result = CRISPPruner(crisp_model, config).prune(train_loader, val_loader)
+
+        block_model, train_loader2, val_loader2 = _setup(seed=4)
+        block_result = block_prune(
+            block_model, target_sparsity=0.8, block_size=8,
+            train_loader=train_loader2, val_loader=val_loader2, finetune_epochs=1,
+        )
+
+        uniform = all(
+            check_block_uniformity(
+                layer.weight.mask.reshape(layer.reshaped_weight().shape[1], -1).T, 8
+            )
+            for layer in prunable_layers(crisp_model).values()
+        )
+        return {
+            "crisp_accuracy": crisp_result.final_accuracy,
+            "block_accuracy": block_result.final_accuracy,
+            "crisp_uniform_rows": uniform,
+        }
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\nuniform-vs-global block ablation: {results}")
+    # CRISP keeps the hardware-friendly structure without giving up accuracy.
+    assert results["crisp_uniform_rows"] is True
+    assert results["crisp_accuracy"] >= results["block_accuracy"] - 0.1

@@ -1,0 +1,29 @@
+"""Benchmark E1 — regenerates Fig. 1 (accuracy at different N:M ratios).
+
+Paper shape: accuracy drops as the N:M ratio tightens (3:4 -> 2:4 -> 1:4);
+compact MobileNetV2 degrades the most, ResNet-50 the least.
+"""
+
+import pytest
+
+from repro.experiments import Fig1Config, run_fig1
+
+from conftest import BENCH_SCALE, print_rows
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_nm_ratio_sweep(benchmark):
+    config = Fig1Config(
+        models=("resnet_tiny", "mobilenet_tiny"),
+        nm_ratios=((3, 4), (2, 4), (1, 4)),
+        num_user_classes=4,
+        scale=BENCH_SCALE,
+    )
+    rows = benchmark.pedantic(run_fig1, args=(config,), iterations=1, rounds=1)
+    print_rows("Fig. 1: accuracy vs N:M ratio", rows)
+
+    for model in ("resnet_tiny", "mobilenet_tiny"):
+        model_rows = {r["pattern"]: r for r in rows if r["model"] == model}
+        assert model_rows["1:4"]["sparsity"] > model_rows["2:4"]["sparsity"] > model_rows["3:4"]["sparsity"]
+        # Accuracy at the loosest pattern stays within reach of dense.
+        assert model_rows["3:4"]["accuracy_drop"] <= model_rows["1:4"]["accuracy_drop"] + 0.25

@@ -1,0 +1,35 @@
+"""Benchmark E2 — regenerates Fig. 2 (layer-wise sparsity distribution).
+
+Paper shape: class-aware global pruning produces a highly non-uniform
+per-layer sparsity allocation (some layers ~99 % pruned, others far less).
+"""
+
+import pytest
+
+from repro.experiments import Fig2Config, run_fig2
+
+from conftest import BENCH_SCALE, print_rows
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_layerwise_distribution(benchmark):
+    config = Fig2Config(
+        num_user_classes=4,
+        target_sparsity=0.85,
+        block_size=8,
+        scale=BENCH_SCALE,
+    )
+    rows = benchmark.pedantic(run_fig2, args=(config,), iterations=1, rounds=1)
+    print_rows(
+        "Fig. 2: layer-wise sparsity distribution",
+        rows,
+        columns=["layer", "weights", "sparsity", "global_sparsity"],
+    )
+
+    summary = rows[-1]
+    assert summary["layer"] == "<global>"
+    assert summary["global_sparsity"] == pytest.approx(0.85, abs=0.06)
+    # Non-uniform allocation: a visible spread between the most- and
+    # least-pruned layers.
+    assert summary["sparsity_spread"] > 0.1
+    assert summary["max_layer_sparsity"] > summary["global_sparsity"]

@@ -1,0 +1,31 @@
+"""Benchmark E4 — regenerates Fig. 4 (right): metadata overhead of sparse formats.
+
+Paper shape: CSR needs roughly 5x and ELLPACK roughly 7x more metadata than
+the CRISP hybrid format on CRISP-pruned weight matrices.
+"""
+
+import pytest
+
+from repro.experiments import Fig4Config, aggregate_overheads, run_fig4
+
+from conftest import print_rows
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_metadata_overheads(benchmark):
+    config = Fig4Config(target_sparsity=0.875, block_size=16)
+    rows = benchmark.pedantic(run_fig4, args=(config,), iterations=1, rounds=3)
+    print_rows("Fig. 4 (right): metadata bits per format", rows)
+
+    overheads = aggregate_overheads(rows)
+    print(f"\naverage metadata overhead vs CRISP: {overheads}")
+
+    # Shape of the paper's claim: both general-purpose formats cost several
+    # times more metadata than CRISP, with ELLPACK the worst.
+    assert overheads["crisp"] == pytest.approx(1.0)
+    assert overheads["csr"] > 2.5
+    assert overheads["ellpack"] > overheads["csr"]
+    # The CRISP data+metadata total is also smaller than the dense encoding.
+    for layer in {r["layer"] for r in rows}:
+        layer_rows = {r["format"]: r for r in rows if r["layer"] == layer}
+        assert layer_rows["crisp"]["total_bits"] < layer_rows["dense"]["total_bits"]

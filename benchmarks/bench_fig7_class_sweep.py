@@ -1,0 +1,41 @@
+"""Benchmark E5 — regenerates Fig. 7 (accuracy & FLOPs vs number of user classes).
+
+Paper shape: CRISP tracks the dense fine-tuned upper bound while running at a
+much lower normalized FLOPs ratio than the channel-pruning baseline; accuracy
+drops slowly as the number of user-preferred classes grows.
+"""
+
+import pytest
+
+from repro.experiments import Fig7Config, run_fig7
+
+from conftest import BENCH_SCALE, print_rows
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_class_count_sweep(benchmark):
+    config = Fig7Config(
+        class_counts=(2, 4, 6),
+        datasets=("synthetic-tiny",),
+        models=("resnet_tiny",),
+        scale=BENCH_SCALE,
+        max_sparsity=0.875,
+        min_sparsity=0.5,
+    )
+    rows = benchmark.pedantic(run_fig7, args=(config,), iterations=1, rounds=1)
+    print_rows("Fig. 7: accuracy / FLOPs vs number of user classes", rows)
+
+    for count in config.class_counts:
+        point = {r["method"]: r for r in rows if r["num_classes"] == count}
+        # CRISP prunes much harder than the dense model.
+        assert point["crisp"]["flops_ratio"] < 0.7
+        assert point["crisp"]["sparsity"] > 0.4
+        # All methods report valid accuracies.
+        for method in ("dense", "crisp", "channel"):
+            assert 0.0 <= point[method]["accuracy"] <= 1.0
+
+    # Sparsity budget shrinks (FLOPs ratio grows) as the class count grows.
+    crisp_rows = sorted(
+        (r for r in rows if r["method"] == "crisp"), key=lambda r: r["num_classes"]
+    )
+    assert crisp_rows[0]["sparsity"] >= crisp_rows[-1]["sparsity"] - 1e-9

@@ -1,0 +1,79 @@
+"""Benchmark E6 — regenerates Fig. 8 (layer-wise speedup and energy efficiency).
+
+Paper shape (on representative ResNet-50 layers, 80-90 % global sparsity):
+
+* CRISP-STC: roughly 7-14x (1:4), 5-12x (2:4) and 2-8x (3:4) speedup, with
+  block size 64 the best configuration;
+* NVIDIA-STC: at most ~2x;
+* DSTC: ~3-8x on early layers, degrading on late layers where data movement
+  dominates;
+* energy efficiency of CRISP-STC far above both baselines.
+"""
+
+import pytest
+
+from repro.experiments import Fig8Config, aggregate_fig8, run_fig8
+
+from conftest import print_rows
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_accelerator_comparison(benchmark):
+    config = Fig8Config(
+        nm_ratios=((1, 4), (2, 4), (3, 4)),
+        block_sizes=(16, 32, 64),
+        global_sparsities=(0.80, 0.85, 0.90),
+    )
+    rows = benchmark.pedantic(run_fig8, args=(config,), iterations=1, rounds=3)
+    aggregated = aggregate_fig8(rows)
+    print_rows("Fig. 8 (aggregate): speedup / energy vs dense", aggregated)
+
+    def agg(pattern, sparsity, accelerator):
+        return next(
+            r for r in aggregated
+            if r["pattern"] == pattern
+            and r["global_sparsity"] == sparsity
+            and r["accelerator"] == accelerator
+        )
+
+    for pattern in ("1:4", "2:4", "3:4"):
+        for sparsity in (0.80, 0.90):
+            crisp = agg(pattern, sparsity, "crisp-stc-b64")
+            nvidia = agg(pattern, sparsity, "nvidia-stc")
+            dstc = agg(pattern, sparsity, "dstc")
+            # CRISP-STC beats both baselines; NVIDIA-STC <= 2x.
+            assert crisp["speedup_vs_dense"] > dstc["speedup_vs_dense"]
+            assert crisp["speedup_vs_dense"] > nvidia["speedup_vs_dense"]
+            assert nvidia["speedup_vs_dense"] <= 2.0 + 1e-9
+            assert crisp["energy_eff_vs_dense"] > nvidia["energy_eff_vs_dense"]
+
+    # Pattern ordering at matched sparsity: 1:4 >= 2:4 >= 3:4.
+    s90 = {p: agg(p, 0.90, "crisp-stc-b64")["speedup_vs_dense"] for p in ("1:4", "2:4", "3:4")}
+    assert s90["1:4"] >= s90["2:4"] >= s90["3:4"]
+
+    # Block-size ordering: 64 >= 32 >= 16.
+    by_block = {
+        b: agg("2:4", 0.90, f"crisp-stc-b{b}")["speedup_vs_dense"] for b in (16, 32, 64)
+    }
+    assert by_block[64] >= by_block[32] >= by_block[16]
+
+    # Headline magnitudes: CRISP-STC reaches high single/double-digit speedup
+    # at 90 % sparsity and NVIDIA-STC never does.
+    assert s90["1:4"] > 6.0
+    assert s90["2:4"] > 5.0
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_dstc_layer_asymmetry(benchmark):
+    """DSTC is strong on early large-spatial layers and weak on late layers."""
+    config = Fig8Config(nm_ratios=((2, 4),), block_sizes=(64,), global_sparsities=(0.85,))
+    rows = benchmark.pedantic(run_fig8, args=(config,), iterations=1, rounds=3)
+
+    dstc_rows = [r for r in rows if r["accelerator"] == "dstc"]
+    by_layer = {r["layer"]: r["speedup_vs_dense"] for r in dstc_rows}
+    early = by_layer["layer1.0.conv2"]
+    late = by_layer["layer4.2.conv3"]
+    print(f"\nDSTC speedup early={early:.2f}x late={late:.2f}x")
+    assert early > late
+    assert early > 3.0
+    assert late < 4.0

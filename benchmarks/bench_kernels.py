@@ -1,0 +1,85 @@
+"""Microbenchmarks for the core kernels and mask generators.
+
+Not tied to a specific paper figure: these track the cost of the substrate
+operations (im2col convolution, mask generation, format encoding, the
+functional CRISP GEMM) so regressions in the building blocks are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.sparsity import (
+    CRISPFormat,
+    HybridSparsityConfig,
+    crisp_matmul,
+    hybrid_mask,
+    nm_mask,
+    uniform_block_mask,
+)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_conv2d_forward_kernel(benchmark, rng):
+    x = rng.normal(size=(8, 16, 16, 16))
+    weight = rng.normal(size=(32, 16, 3, 3))
+    bias = rng.normal(size=32)
+    out, _ = benchmark(F.conv2d_forward, x, weight, bias, 1, 1)
+    assert out.shape == (8, 32, 16, 16)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_conv2d_backward_kernel(benchmark, rng):
+    x = rng.normal(size=(8, 16, 16, 16))
+    weight = rng.normal(size=(32, 16, 3, 3))
+    out, cache = F.conv2d_forward(x, weight, None, 1, 1)
+    grad_out = rng.normal(size=out.shape)
+    grad_x, grad_w, _ = benchmark(F.conv2d_backward, grad_out, weight, cache)
+    assert grad_x.shape == x.shape and grad_w.shape == weight.shape
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_nm_mask_kernel(benchmark, rng):
+    scores = rng.random((1152, 256))
+    mask = benchmark(nm_mask, scores, 2, 4, 0)
+    assert mask.mean() == pytest.approx(0.5)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_uniform_block_mask_kernel(benchmark, rng):
+    scores = rng.random((1152, 256))
+    mask = benchmark(uniform_block_mask, scores, 16, 8)
+    assert 0.0 < mask.mean() < 1.0
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_hybrid_mask_kernel(benchmark, rng):
+    scores = rng.random((1152, 256))
+    config = HybridSparsityConfig(2, 4, 16)
+    mask, info = benchmark(hybrid_mask, scores, config, 0.9)
+    assert info.achieved_sparsity == pytest.approx(0.9, abs=0.03)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_crisp_format_encode_kernel(benchmark, rng):
+    weight = rng.normal(size=(256, 64))
+    mask, _ = hybrid_mask(np.abs(weight), HybridSparsityConfig(2, 4, 16), target_sparsity=0.85)
+    sparse = weight * mask
+    fmt = benchmark(CRISPFormat.from_dense, sparse, 2, 4, 16)
+    assert fmt.is_lossless
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_crisp_matmul_kernel(benchmark, rng):
+    weight = rng.normal(size=(128, 64))
+    mask, _ = hybrid_mask(np.abs(weight), HybridSparsityConfig(2, 4, 16), target_sparsity=0.85)
+    sparse = weight * mask
+    fmt = CRISPFormat.from_dense(sparse, 2, 4, 16)
+    activations = rng.normal(size=(128, 8))
+    out = benchmark(crisp_matmul, fmt, activations)
+    np.testing.assert_allclose(out, sparse.T @ activations, atol=1e-8)

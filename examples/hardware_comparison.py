@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Accelerator comparison: CRISP-STC vs NVIDIA-STC, DSTC and a dense baseline.
+
+Reproduces the Fig. 8 workflow in two parts:
+
+1. the paper's setting — representative full-scale ResNet-50 layers with an
+   80-90 % sparse hybrid pattern, swept over N:M ratios and block sizes;
+2. a measured setting — a model actually pruned by CRISP in this process,
+   whose per-layer masks drive the workload extraction.
+
+Run with:  python examples/hardware_comparison.py
+"""
+
+from repro.data import build_user_loaders, make_dataset, sample_user_profile
+from repro.experiments import format_table
+from repro.hw import (
+    CrispSTC,
+    DenseAccelerator,
+    DualSideSTC,
+    NvidiaSTC,
+    compare_accelerators,
+    resnet50_reference_layers,
+    workloads_from_model,
+)
+from repro.nn.models import resnet_tiny
+from repro.nn.trainer import TrainConfig, Trainer
+from repro.pruning import CRISPConfig, CRISPPruner
+
+
+def reference_layer_study() -> None:
+    print("=" * 72)
+    print("Part 1: representative ResNet-50 layers (paper's Fig. 8 setting)")
+    print("=" * 72)
+
+    rows = []
+    for n, m in ((1, 4), (2, 4), (3, 4)):
+        for sparsity in (0.80, 0.90):
+            keep = min(1.0, (1 - sparsity) / (n / m))
+            workloads = resnet50_reference_layers(n=n, m=m, block_keep_ratio=keep)
+            report = compare_accelerators(workloads)
+            for accelerator in ("nvidia-stc", "dstc", "crisp-stc-b16", "crisp-stc-b64"):
+                rows.append({
+                    "pattern": f"{n}:{m}",
+                    "sparsity": sparsity,
+                    "accelerator": accelerator,
+                    "speedup": report.overall_speedup(accelerator),
+                    "energy_eff": report.overall_energy_efficiency(accelerator),
+                })
+    print(format_table(rows))
+
+    # Per-layer view for one configuration, showing the DSTC early/late asymmetry.
+    workloads = resnet50_reference_layers(n=2, m=4, block_keep_ratio=0.2)
+    report = compare_accelerators(workloads)
+    print("\nPer-layer speedup vs dense (2:4, 90% sparsity):")
+    layer_rows = []
+    for layer in report.layers:
+        layer_rows.append({
+            "layer": layer.layer,
+            "nvidia": layer.speedup("nvidia-stc"),
+            "dstc": layer.speedup("dstc"),
+            "crisp_b64": layer.speedup("crisp-stc-b64"),
+        })
+    print(format_table(layer_rows))
+
+
+def pruned_model_study() -> None:
+    print("\n" + "=" * 72)
+    print("Part 2: a CRISP-pruned model measured end to end")
+    print("=" * 72)
+
+    dataset = make_dataset("synthetic-tiny", seed=0)
+    profile = sample_user_profile(dataset, 4, seed=0)
+    train_loader, val_loader = build_user_loaders(dataset, profile, batch_size=16)
+    model = resnet_tiny(num_classes=4, input_size=dataset.image_size, seed=0)
+    Trainer(model, TrainConfig(epochs=3, lr=0.05)).fit(train_loader)
+
+    config = CRISPConfig(n=2, m=4, block_size=8, target_sparsity=0.85, iterations=3)
+    result = CRISPPruner(model, config).prune(train_loader, val_loader)
+    print(f"pruned model: sparsity={result.final_sparsity:.3f}, "
+          f"accuracy={result.final_accuracy:.3f}")
+
+    workloads = workloads_from_model(
+        model, input_size=dataset.image_size, n=config.n, m=config.m, block_size=config.block_size
+    )
+    report = compare_accelerators(
+        workloads, [DenseAccelerator(), NvidiaSTC(), DualSideSTC(), CrispSTC(8)]
+    )
+    print("\nnetwork-level estimates for the pruned model:")
+    for name in ("nvidia-stc", "dstc", "crisp-stc-b8"):
+        print(f"  {name:>14}: {report.overall_speedup(name):5.2f}x speedup, "
+              f"{report.overall_energy_efficiency(name):5.2f}x energy efficiency")
+
+
+def main() -> None:
+    reference_layer_study()
+    pruned_model_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Reproduction of "CRISP: Hybrid Structured Sparsity for Class-aware Model Pruning".
+
+Package layout
+--------------
+* :mod:`repro.nn` — NumPy deep-learning substrate (layers, models, training).
+* :mod:`repro.data` — synthetic class-conditional datasets and loaders.
+* :mod:`repro.sparsity` — N:M / block / hybrid masks, storage formats, kernels.
+* :mod:`repro.pruning` — the CRISP pruning framework and baseline pruners.
+* :mod:`repro.hw` — analytical sparse-accelerator latency/energy models.
+* :mod:`repro.experiments` — one runner per paper figure/table.
+"""
+
+__version__ = "1.0.0"
+
+from . import nn
+from . import data
+from . import sparsity
+from . import pruning
+from . import hw
+from . import experiments
+
+__all__ = ["nn", "data", "sparsity", "pruning", "hw", "experiments", "__version__"]

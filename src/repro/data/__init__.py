@@ -1,0 +1,25 @@
+"""Data substrate: synthetic class-conditional datasets and loaders.
+
+Substitutes for ImageNet-1k / CIFAR-100 (unavailable offline) with
+procedurally generated class-conditional image distributions; see DESIGN.md
+for the substitution rationale.
+"""
+
+from .synthetic import (
+    DATASET_PRESETS,
+    DatasetConfig,
+    SyntheticImageDataset,
+    make_dataset,
+)
+from .loader import DataLoader, UserProfile, build_user_loaders, sample_user_profile
+
+__all__ = [
+    "DATASET_PRESETS",
+    "DatasetConfig",
+    "SyntheticImageDataset",
+    "make_dataset",
+    "DataLoader",
+    "UserProfile",
+    "build_user_loaders",
+    "sample_user_profile",
+]

@@ -1,0 +1,129 @@
+"""Mini-batch loaders and user-preference sampling utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .synthetic import SyntheticImageDataset
+
+__all__ = ["DataLoader", "UserProfile", "sample_user_profile", "build_user_loaders"]
+
+
+class DataLoader:
+    """A minimal mini-batch iterator over in-memory arrays.
+
+    Iterating yields ``(images, labels)`` batches.  Shuffling uses an internal
+    generator re-seeded per epoch so repeated iteration is reproducible but
+    not identical across epochs.
+    """
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
+        if len(images) != len(labels):
+            raise ValueError(
+                f"images ({len(images)}) and labels ({len(labels)}) length mismatch"
+            )
+        if len(images) == 0:
+            raise ValueError("DataLoader requires at least one sample")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.images = images
+        self.labels = labels
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.seed = seed
+        self.drop_last = drop_last
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        n = len(self.images)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.images)
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.images))
+        if self.shuffle:
+            rng = np.random.default_rng(self.seed + self._epoch)
+            rng.shuffle(indices)
+            self._epoch += 1
+        for start in range(0, len(indices), self.batch_size):
+            batch_idx = indices[start : start + self.batch_size]
+            if self.drop_last and len(batch_idx) < self.batch_size:
+                break
+            yield self.images[batch_idx], self.labels[batch_idx]
+
+
+@dataclass
+class UserProfile:
+    """A simulated user: the subset of classes they encounter.
+
+    Mirrors the paper's setup where "the frequently occurring classes within
+    a predefined window" become the user-preferred classes ``uc``.
+    """
+
+    user_id: int
+    preferred_classes: List[int]
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.preferred_classes)
+
+
+def sample_user_profile(
+    dataset: SyntheticImageDataset,
+    num_user_classes: int,
+    user_id: int = 0,
+    seed: Optional[int] = None,
+) -> UserProfile:
+    """Randomly sample a user profile with ``num_user_classes`` preferred classes."""
+    if not 1 <= num_user_classes <= dataset.num_classes:
+        raise ValueError(
+            f"num_user_classes must be in [1, {dataset.num_classes}], got {num_user_classes}"
+        )
+    rng = np.random.default_rng(dataset.seed + 31 * user_id if seed is None else seed)
+    selected = sorted(
+        rng.choice(dataset.num_classes, size=num_user_classes, replace=False).tolist()
+    )
+    return UserProfile(user_id=user_id, preferred_classes=selected)
+
+
+def build_user_loaders(
+    dataset: SyntheticImageDataset,
+    profile: UserProfile,
+    batch_size: int = 32,
+    samples_per_class: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[DataLoader, DataLoader]:
+    """Build train / validation loaders restricted to a user's preferred classes.
+
+    Labels are remapped to ``0..len(preferred_classes)-1`` so the personalised
+    model's classification head can be sized to the user's class count.
+    """
+    train_images, train_labels = dataset.split(
+        "train", classes=profile.preferred_classes, samples_per_class=samples_per_class
+    )
+    val_images, val_labels = dataset.split(
+        "val", classes=profile.preferred_classes
+    )
+    train_loader = DataLoader(
+        train_images, train_labels, batch_size=batch_size, shuffle=True, seed=seed
+    )
+    val_loader = DataLoader(
+        val_images, val_labels, batch_size=batch_size, shuffle=False, seed=seed
+    )
+    return train_loader, val_loader

@@ -1,0 +1,6 @@
+"""``python -m repro.experiments`` — regenerate the paper's figures from the CLI."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

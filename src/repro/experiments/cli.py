@@ -1,0 +1,112 @@
+"""Command-line entry point for regenerating the paper's figures.
+
+Usage::
+
+    python -m repro.experiments fig1          # accuracy vs N:M ratio
+    python -m repro.experiments fig4 fig8     # several figures in one go
+    python -m repro.experiments all           # every figure
+    python -m repro.experiments --list        # available experiment names
+
+Each experiment prints the same rows/series the corresponding paper figure
+reports (at the reduced scale documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, List, Sequence
+
+from .common import format_table
+from .fig1_nm_ratios import run_fig1
+from .fig2_layerwise import run_fig2
+from .fig3_crisp_vs_block import run_fig3
+from .fig4_metadata import aggregate_overheads, run_fig4
+from .fig7_class_sweep import run_fig7
+from .fig8_hardware import aggregate_fig8, run_fig8
+from .headline import run_headline
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+
+def _print_fig4() -> None:
+    rows = run_fig4()
+    print(format_table(rows))
+    print("\naverage metadata overhead vs CRISP:")
+    for fmt, ratio in sorted(aggregate_overheads(rows).items()):
+        print(f"  {fmt:>16}: {ratio:5.2f}x")
+
+
+def _print_fig8() -> None:
+    rows = run_fig8()
+    print(format_table(aggregate_fig8(rows)))
+
+
+def _print_headline() -> None:
+    for key, value in run_headline().items():
+        print(f"{key:>24}: {value:.3f}")
+
+
+def _table_printer(runner: Callable[[], List[dict]]) -> Callable[[], None]:
+    def _print() -> None:
+        print(format_table(runner()))
+
+    return _print
+
+
+#: Experiment name -> zero-argument callable that runs it and prints its table.
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "fig1": _table_printer(run_fig1),
+    "fig2": _table_printer(run_fig2),
+    "fig3": _table_printer(run_fig3),
+    "fig4": _print_fig4,
+    "fig7": _table_printer(run_fig7),
+    "fig8": _print_fig8,
+    "headline": _print_headline,
+}
+
+
+def run_experiment(name: str) -> None:
+    """Run one named experiment and print its reproduced table."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"Unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+    print(f"\n===== {name} =====")
+    EXPERIMENTS[name]()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the CRISP paper's evaluation figures at reduced scale.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (fig1 fig2 fig3 fig4 fig7 fig8 headline) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    requested = list(args.experiments)
+    if not requested:
+        parser.print_help()
+        return 1
+    if requested == ["all"]:
+        requested = sorted(EXPERIMENTS)
+
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}; available: {sorted(EXPERIMENTS)}")
+
+    for name in requested:
+        run_experiment(name)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

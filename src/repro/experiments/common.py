@@ -1,0 +1,218 @@
+"""Shared experiment plumbing: pre-training, personalisation setups and tables.
+
+Every figure-reproduction experiment follows the paper's protocol:
+
+1. train (or reuse) a *universal* model over the full class set of the
+   dataset — the stand-in for the pre-trained ImageNet checkpoints the paper
+   starts from;
+2. sample a user profile (a handful of preferred classes) and build loaders
+   restricted to those classes;
+3. personalise the model with CRISP or a baseline pruner and measure
+   accuracy / FLOPs / sparsity.
+
+Pre-trained universal models are cached per configuration so sweeps that
+reuse the same backbone do not retrain it for every point.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data import DataLoader, SyntheticImageDataset, UserProfile, build_user_loaders, make_dataset, sample_user_profile
+from ..nn.models import build_model
+from ..nn.models.base import ClassifierModel
+from ..nn.trainer import TrainConfig, Trainer, evaluate
+
+__all__ = [
+    "PersonalizationSetup",
+    "ExperimentScale",
+    "TINY_SCALE",
+    "SMALL_SCALE",
+    "pretrained_universal_model",
+    "make_personalization_setup",
+    "clone_model",
+    "format_table",
+    "clear_model_cache",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs controlling how heavy an experiment run is.
+
+    The ``tiny`` scale keeps every sweep point in the sub-second range so the
+    test-suite and pytest-benchmark harness stay fast; ``small`` is the
+    default for producing the EXPERIMENTS.md numbers.
+    """
+
+    name: str
+    dataset_preset: str
+    model_name: str
+    pretrain_epochs: int
+    finetune_epochs: int
+    prune_iterations: int
+    batch_size: int = 16
+    samples_per_class: Optional[int] = None
+
+
+TINY_SCALE = ExperimentScale(
+    name="tiny",
+    dataset_preset="synthetic-tiny",
+    model_name="resnet_tiny",
+    pretrain_epochs=2,
+    finetune_epochs=1,
+    prune_iterations=2,
+)
+
+SMALL_SCALE = ExperimentScale(
+    name="small",
+    dataset_preset="synthetic-cifar100",
+    model_name="resnet_tiny",
+    pretrain_epochs=4,
+    finetune_epochs=1,
+    prune_iterations=3,
+    batch_size=16,
+)
+
+
+@dataclass
+class PersonalizationSetup:
+    """Everything a personalisation experiment needs for one sweep point."""
+
+    dataset: SyntheticImageDataset
+    profile: UserProfile
+    model: ClassifierModel
+    train_loader: DataLoader
+    val_loader: DataLoader
+    universal_accuracy: float
+
+
+_MODEL_CACHE: Dict[Tuple, Tuple[ClassifierModel, float]] = {}
+
+
+def clear_model_cache() -> None:
+    """Drop cached pre-trained universal models (used by tests)."""
+    _MODEL_CACHE.clear()
+
+
+def clone_model(model: ClassifierModel) -> ClassifierModel:
+    """Deep-copy a model so pruning one sweep point does not affect the next."""
+    return copy.deepcopy(model)
+
+
+def pretrained_universal_model(
+    scale: ExperimentScale,
+    num_classes: int,
+    input_size: int,
+    seed: int = 0,
+    dataset: Optional[SyntheticImageDataset] = None,
+) -> Tuple[ClassifierModel, float]:
+    """Train (or fetch from cache) a universal model over ``num_classes`` classes.
+
+    Returns ``(model, validation_accuracy)``.  The cached model is never
+    handed out directly — callers receive a deep copy so they can prune it.
+    """
+    key = (scale.name, scale.model_name, scale.dataset_preset, num_classes, input_size, seed)
+    if key not in _MODEL_CACHE:
+        dataset = dataset or make_dataset(scale.dataset_preset, seed=seed)
+        all_classes = list(range(num_classes))
+        train_x, train_y = dataset.split("train", classes=all_classes)
+        val_x, val_y = dataset.split("val", classes=all_classes)
+        train_loader = DataLoader(train_x, train_y, batch_size=scale.batch_size, seed=seed)
+        val_loader = DataLoader(val_x, val_y, batch_size=scale.batch_size, shuffle=False)
+
+        model = build_model(
+            scale.model_name, num_classes=num_classes, input_size=input_size, seed=seed
+        )
+        trainer = Trainer(model, TrainConfig(epochs=scale.pretrain_epochs, lr=0.05))
+        trainer.fit(train_loader, val_loader=None)
+        accuracy = evaluate(model, iter(val_loader))
+        _MODEL_CACHE[key] = (model, accuracy)
+
+    cached_model, accuracy = _MODEL_CACHE[key]
+    return clone_model(cached_model), accuracy
+
+
+def make_personalization_setup(
+    scale: ExperimentScale,
+    num_user_classes: int,
+    seed: int = 0,
+    user_id: int = 0,
+) -> PersonalizationSetup:
+    """Build the full personalisation setup for one sweep point.
+
+    The universal model's classification head is re-sized to the user's class
+    count by keeping only the head rows of the preferred classes — the same
+    "focus the model on the classes the user sees" step the paper performs
+    before pruning.
+    """
+    dataset = make_dataset(scale.dataset_preset, seed=seed)
+    model, universal_acc = pretrained_universal_model(
+        scale,
+        num_classes=dataset.num_classes,
+        input_size=dataset.image_size,
+        seed=seed,
+        dataset=dataset,
+    )
+    profile = sample_user_profile(dataset, num_user_classes, user_id=user_id, seed=seed + user_id)
+    train_loader, val_loader = build_user_loaders(
+        dataset,
+        profile,
+        batch_size=scale.batch_size,
+        samples_per_class=scale.samples_per_class,
+        seed=seed,
+    )
+
+    # Restrict the classifier head to the user's classes (rows of the weight
+    # matrix), keeping the backbone intact.
+    head = model.classifier
+    # VGG wraps its head in a Sequential; the last prunable Linear is the head.
+    from ..nn.layers import Linear
+    from ..nn.models.base import prunable_layers
+
+    linear_layers = [m for m in prunable_layers(model).values() if isinstance(m, Linear)]
+    final = linear_layers[-1] if linear_layers else head
+    if isinstance(final, Linear) and final.out_features == dataset.num_classes:
+        keep_rows = np.asarray(profile.preferred_classes)
+        final.weight.data = final.weight.data[keep_rows].copy()
+        if final.bias is not None:
+            final.bias.data = final.bias.data[keep_rows].copy()
+        final.out_features = len(keep_rows)
+    model.num_classes = profile.num_classes
+
+    return PersonalizationSetup(
+        dataset=dataset,
+        profile=profile,
+        model=model,
+        train_loader=train_loader,
+        val_loader=val_loader,
+        universal_accuracy=universal_acc,
+    )
+
+
+def format_table(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of row dicts as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    widths = {col: len(col) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(fmt(row.get(col, ""))))
+
+    header = " | ".join(col.ljust(widths[col]) for col in columns)
+    separator = "-+-".join("-" * widths[col] for col in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(" | ".join(fmt(row.get(col, "")).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Hardware substrate: analytical latency/energy models of sparse accelerators.
+
+Replaces the paper's Sparseloop + CACTI evaluation flow with an analytical
+roofline/energy model of the same accelerator line-up (dense, NVIDIA-STC,
+DSTC and CRISP-STC); see DESIGN.md for the substitution rationale.
+"""
+
+from .energy import DEFAULT_ENERGY_MODEL, EnergyBreakdown, EnergyModel
+from .workload import LayerWorkload, resnet50_reference_layers, workloads_from_model
+from .accelerator import Accelerator, AcceleratorSpec, EDGE_SPEC, LayerPerformance
+from .dense import DenseAccelerator
+from .nvidia_stc import NvidiaSTC
+from .dstc import DualSideSTC
+from .crisp_stc import CrispSTC
+from .report import (
+    ComparisonReport,
+    LayerComparison,
+    compare_accelerators,
+    default_accelerators,
+)
+
+__all__ = [
+    "DEFAULT_ENERGY_MODEL",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "LayerWorkload",
+    "resnet50_reference_layers",
+    "workloads_from_model",
+    "Accelerator",
+    "AcceleratorSpec",
+    "EDGE_SPEC",
+    "LayerPerformance",
+    "DenseAccelerator",
+    "NvidiaSTC",
+    "DualSideSTC",
+    "CrispSTC",
+    "ComparisonReport",
+    "LayerComparison",
+    "compare_accelerators",
+    "default_accelerators",
+]

@@ -1,0 +1,118 @@
+"""Component energy model (CACTI-style per-access energies).
+
+The paper reports energy via the CACTI plugin of Sparseloop; absolute joules
+depend on the technology node, so we use representative 45 nm-class per-access
+energies (in picojoules) for the same component hierarchy the CRISP-STC
+design describes: DRAM, a 256 KB shared memory (SMEM), per-core register
+files and the MAC array.  All comparisons in the benchmark harness are
+*relative* (energy-efficiency ratios), so the qualitative conclusions do not
+depend on the exact constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["EnergyModel", "EnergyBreakdown", "DEFAULT_ENERGY_MODEL"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy costs in picojoules.
+
+    Attributes
+    ----------
+    mac_pj:
+        One 8-bit multiply-accumulate.
+    rf_access_pj:
+        One byte read/written from a per-core register file.
+    smem_access_pj:
+        One byte read/written from the shared memory (SMEM).
+    dram_access_pj:
+        One byte moved to/from off-chip DRAM.
+    mux_select_pj:
+        One N:M multiplexer selection (the activation-select stage of
+        CRISP-STC / NVIDIA-STC).
+    metadata_decode_pj:
+        Decoding one metadata index (block index or intra-group offset).
+    leakage_pj_per_cycle:
+        Static energy per cycle for the whole accelerator.
+    """
+
+    mac_pj: float = 0.56
+    rf_access_pj: float = 0.12
+    smem_access_pj: float = 1.8
+    dram_access_pj: float = 64.0
+    mux_select_pj: float = 0.03
+    metadata_decode_pj: float = 0.05
+    leakage_pj_per_cycle: float = 2.0
+
+    def scaled(self, factor: float) -> "EnergyModel":
+        """Uniformly scale all dynamic energies (e.g. for a different node)."""
+        return EnergyModel(
+            mac_pj=self.mac_pj * factor,
+            rf_access_pj=self.rf_access_pj * factor,
+            smem_access_pj=self.smem_access_pj * factor,
+            dram_access_pj=self.dram_access_pj * factor,
+            mux_select_pj=self.mux_select_pj * factor,
+            metadata_decode_pj=self.metadata_decode_pj * factor,
+            leakage_pj_per_cycle=self.leakage_pj_per_cycle * factor,
+        )
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy (picojoules) attributed to each component for one layer."""
+
+    mac_pj: float = 0.0
+    rf_pj: float = 0.0
+    smem_pj: float = 0.0
+    dram_pj: float = 0.0
+    mux_pj: float = 0.0
+    metadata_pj: float = 0.0
+    leakage_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.mac_pj
+            + self.rf_pj
+            + self.smem_pj
+            + self.dram_pj
+            + self.mux_pj
+            + self.metadata_pj
+            + self.leakage_pj
+        )
+
+    @property
+    def total_uj(self) -> float:
+        """Total energy in microjoules (the unit Fig. 8 reports)."""
+        return self.total_pj * 1e-6
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mac_pj": self.mac_pj,
+            "rf_pj": self.rf_pj,
+            "smem_pj": self.smem_pj,
+            "dram_pj": self.dram_pj,
+            "mux_pj": self.mux_pj,
+            "metadata_pj": self.metadata_pj,
+            "leakage_pj": self.leakage_pj,
+            "total_pj": self.total_pj,
+        }
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            mac_pj=self.mac_pj + other.mac_pj,
+            rf_pj=self.rf_pj + other.rf_pj,
+            smem_pj=self.smem_pj + other.smem_pj,
+            dram_pj=self.dram_pj + other.dram_pj,
+            mux_pj=self.mux_pj + other.mux_pj,
+            metadata_pj=self.metadata_pj + other.metadata_pj,
+            leakage_pj=self.leakage_pj + other.leakage_pj,
+        )
+
+
+#: Default energy constants used by every accelerator model.
+DEFAULT_ENERGY_MODEL = EnergyModel()

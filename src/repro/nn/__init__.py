@@ -1,0 +1,65 @@
+"""NumPy deep-learning substrate used by the CRISP reproduction.
+
+The substrate replaces PyTorch (which the paper uses, but is unavailable in
+this offline environment) with a small, explicit-backward framework: layers,
+models, optimisers, losses and training loops.  The pruning framework in
+:mod:`repro.pruning` only interacts with it through reshaped weight matrices
+and accumulated gradients, mirroring how CRISP hooks into PyTorch modules.
+"""
+
+from . import functional
+from .module import Module, Parameter, Sequential
+from .layers import (
+    Conv2d,
+    DepthwiseConv2d,
+    Linear,
+    BatchNorm1d,
+    BatchNorm2d,
+    ReLU,
+    ReLU6,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool2d,
+    Flatten,
+    Dropout,
+    Identity,
+    PRUNABLE_LAYER_TYPES,
+)
+from .loss import CrossEntropyLoss, accuracy, top_k_accuracy
+from .optim import SGD, StepLR, CosineAnnealingLR, ConstantLR
+from .trainer import TrainConfig, TrainResult, Trainer, evaluate, accumulate_gradients
+from . import models
+
+__all__ = [
+    "functional",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "Linear",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "PRUNABLE_LAYER_TYPES",
+    "CrossEntropyLoss",
+    "accuracy",
+    "top_k_accuracy",
+    "SGD",
+    "StepLR",
+    "CosineAnnealingLR",
+    "ConstantLR",
+    "TrainConfig",
+    "TrainResult",
+    "Trainer",
+    "evaluate",
+    "accumulate_gradients",
+    "models",
+]

@@ -1,0 +1,54 @@
+"""Loss functions for classifier training."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from . import functional as F
+
+__all__ = ["CrossEntropyLoss", "accuracy", "top_k_accuracy"]
+
+
+class CrossEntropyLoss:
+    """Mean cross-entropy over integer class targets, with optional label smoothing."""
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        self.label_smoothing = label_smoothing
+        self._cache: dict = {}
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"Expected 2-D logits, got shape {logits.shape}")
+        if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+            raise ValueError(
+                f"Targets shape {targets.shape} incompatible with logits {logits.shape}"
+            )
+        loss, self._cache = F.cross_entropy_forward(logits, targets, self.label_smoothing)
+        return loss
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the loss with respect to the logits (call after ``forward``)."""
+        if not self._cache:
+            raise RuntimeError("CrossEntropyLoss.backward() called before forward()")
+        return F.cross_entropy_backward(self._cache)
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1]."""
+    preds = logits.argmax(axis=1)
+    return float((preds == targets).mean())
+
+
+def top_k_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy in [0, 1]."""
+    k = min(k, logits.shape[1])
+    top_k = np.argsort(logits, axis=1)[:, -k:]
+    hits = (top_k == targets[:, None]).any(axis=1)
+    return float(hits.mean())

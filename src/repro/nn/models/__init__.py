@@ -1,0 +1,31 @@
+"""Model zoo for the CRISP reproduction.
+
+The three architectures evaluated by the paper (ResNet-50, VGG-16 and
+MobileNetV2) are reproduced at configurable scale: the topological structure
+(bottleneck residuals, plain convolution stacks, inverted residuals with
+depthwise convolutions) matches the originals while the width multiplier and
+stage depths can be reduced so that CPU-only NumPy training stays tractable.
+"""
+
+from .base import ClassifierModel, prunable_layers
+from .resnet import ResNet, resnet50, resnet_tiny
+from .vgg import VGG, vgg16, vgg_tiny
+from .mobilenet import MobileNetV2, mobilenet_v2, mobilenet_tiny
+from .registry import MODEL_REGISTRY, build_model, available_models
+
+__all__ = [
+    "ClassifierModel",
+    "prunable_layers",
+    "ResNet",
+    "resnet50",
+    "resnet_tiny",
+    "VGG",
+    "vgg16",
+    "vgg_tiny",
+    "MobileNetV2",
+    "mobilenet_v2",
+    "mobilenet_tiny",
+    "MODEL_REGISTRY",
+    "build_model",
+    "available_models",
+]

@@ -1,0 +1,205 @@
+"""MobileNetV2 with inverted residual blocks and depthwise convolutions.
+
+The inverted-residual topology (expand 1x1 -> depthwise 3x3 -> project 1x1
+with a linear bottleneck and residual connection when shapes match) follows
+the original MobileNetV2 design.  Width and stage depths are configurable so
+the model trains on CPU; ``mobilenet_v2()`` keeps the canonical seven-stage
+layout while ``mobilenet_tiny()`` is the fast test configuration.
+
+MobileNetV2 is the paper's example of a compact, hard-to-prune model
+(Fig. 1): most of its parameters sit in 1x1 convolutions that are already
+narrow, so aggressive N:M ratios hurt it more than ResNet-50 or VGG-16.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..layers import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    GlobalAvgPool2d,
+    Linear,
+    ReLU6,
+)
+from ..module import Module, Sequential
+from .base import ClassifierModel
+
+__all__ = ["InvertedResidual", "MobileNetV2", "mobilenet_v2", "mobilenet_tiny"]
+
+#: Canonical MobileNetV2 stage configuration: (expansion, channels, blocks, stride).
+MOBILENETV2_CONFIG: List[Tuple[int, int, int, int]] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 1),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _make_divisible(value: float, divisor: int = 4) -> int:
+    """Round channel counts to a multiple of ``divisor`` (at least ``divisor``)."""
+    return max(divisor, int(value + divisor / 2) // divisor * divisor)
+
+
+class InvertedResidual(Module):
+    """MobileNetV2 inverted residual block."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int,
+        expansion: int,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        hidden = in_channels * expansion
+        self.use_residual = stride == 1 and in_channels == out_channels
+        self.expansion = expansion
+
+        layers: List[Module] = []
+        if expansion != 1:
+            layers.extend(
+                [
+                    Conv2d(in_channels, hidden, 1, bias=False, seed=seed),
+                    BatchNorm2d(hidden),
+                    ReLU6(),
+                ]
+            )
+        layers.extend(
+            [
+                DepthwiseConv2d(hidden, 3, stride=stride, padding=1, seed=seed),
+                BatchNorm2d(hidden),
+                ReLU6(),
+                Conv2d(hidden, out_channels, 1, bias=False, seed=seed),
+                BatchNorm2d(out_channels),
+            ]
+        )
+        self.block = Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.block(x)
+        if self.use_residual:
+            out = out + x
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_main = self.block.backward(grad_out)
+        if self.use_residual:
+            return grad_main + grad_out
+        return grad_main
+
+
+class MobileNetV2(ClassifierModel):
+    """MobileNetV2 parameterised by the inverted-residual stage configuration."""
+
+    arch_name = "mobilenetv2"
+
+    def __init__(
+        self,
+        config: Sequence[Tuple[int, int, int, int]] = MOBILENETV2_CONFIG,
+        num_classes: int = 100,
+        input_size: int = 32,
+        width_mult: float = 1.0,
+        in_channels: int = 3,
+        last_channels: int = 1280,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(num_classes=num_classes, input_size=input_size)
+        self.config = [tuple(entry) for entry in config]
+        self.width_mult = width_mult
+
+        stem_channels = _make_divisible(32 * width_mult)
+        self.stem = Sequential(
+            Conv2d(in_channels, stem_channels, 3, stride=1, padding=1, bias=False, seed=seed),
+            BatchNorm2d(stem_channels),
+            ReLU6(),
+        )
+
+        blocks: List[Module] = []
+        channels = stem_channels
+        for expansion, base_out, num_blocks, stride in self.config:
+            out_channels = _make_divisible(base_out * width_mult)
+            for block_idx in range(num_blocks):
+                blocks.append(
+                    InvertedResidual(
+                        channels,
+                        out_channels,
+                        stride=stride if block_idx == 0 else 1,
+                        expansion=expansion,
+                        seed=seed,
+                    )
+                )
+                channels = out_channels
+        self.blocks = Sequential(*blocks)
+
+        head_channels = _make_divisible(last_channels * width_mult)
+        self.head = Sequential(
+            Conv2d(channels, head_channels, 1, bias=False, seed=seed),
+            BatchNorm2d(head_channels),
+            ReLU6(),
+        )
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(head_channels, num_classes, seed=seed)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.stem(x)
+        out = self.blocks(out)
+        out = self.head(out)
+        out = self.pool(out)
+        return self.classifier(out)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.classifier.backward(grad_out)
+        grad = self.pool.backward(grad)
+        grad = self.head.backward(grad)
+        grad = self.blocks.backward(grad)
+        return self.stem.backward(grad)
+
+
+def mobilenet_v2(
+    num_classes: int = 100,
+    input_size: int = 32,
+    width_mult: float = 0.35,
+    seed: Optional[int] = None,
+) -> MobileNetV2:
+    """MobileNetV2 with the canonical seven-stage layout at reduced width."""
+    model = MobileNetV2(
+        MOBILENETV2_CONFIG,
+        num_classes=num_classes,
+        input_size=input_size,
+        width_mult=width_mult,
+        last_channels=256,
+        seed=seed,
+    )
+    model.arch_name = "mobilenetv2"
+    return model
+
+
+def mobilenet_tiny(
+    num_classes: int = 10,
+    input_size: int = 16,
+    seed: Optional[int] = None,
+) -> MobileNetV2:
+    """A three-stage MobileNetV2 for fast experiments and tests."""
+    config: List[Tuple[int, int, int, int]] = [
+        (1, 16, 1, 1),
+        (4, 24, 2, 2),
+        (4, 32, 2, 2),
+    ]
+    model = MobileNetV2(
+        config,
+        num_classes=num_classes,
+        input_size=input_size,
+        width_mult=1.0,
+        last_channels=64,
+        seed=seed,
+    )
+    model.arch_name = "mobilenet_tiny"
+    return model

@@ -1,0 +1,55 @@
+"""Model registry: build models by name, as the experiment harness does."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .base import ClassifierModel
+from .mobilenet import mobilenet_tiny, mobilenet_v2
+from .resnet import resnet50, resnet_tiny
+from .vgg import vgg16, vgg_tiny
+
+__all__ = ["MODEL_REGISTRY", "build_model", "available_models"]
+
+#: Maps architecture name to a constructor ``(num_classes, input_size, seed) -> model``.
+MODEL_REGISTRY: Dict[str, Callable[..., ClassifierModel]] = {
+    "resnet50": resnet50,
+    "resnet_tiny": resnet_tiny,
+    "vgg16": vgg16,
+    "vgg_tiny": vgg_tiny,
+    "mobilenetv2": mobilenet_v2,
+    "mobilenet_tiny": mobilenet_tiny,
+}
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(MODEL_REGISTRY)
+
+
+def build_model(
+    name: str,
+    num_classes: int,
+    input_size: int = 16,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> ClassifierModel:
+    """Instantiate a model from the registry.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_models`.
+    num_classes:
+        Number of output classes (the size of the user-preferred class set
+        plus, optionally, an "other" class).
+    input_size:
+        Square input resolution the model will be fed.
+    seed:
+        Seed for weight initialisation, for reproducible experiments.
+    """
+    if name not in MODEL_REGISTRY:
+        raise KeyError(f"Unknown model {name!r}; available: {available_models()}")
+    return MODEL_REGISTRY[name](
+        num_classes=num_classes, input_size=input_size, seed=seed, **kwargs
+    )

@@ -1,0 +1,138 @@
+"""VGG-style plain convolutional networks (VGG-16 topology).
+
+The canonical VGG-16 configuration (13 convolution layers in five stages
+followed by a fully connected classifier) is reproduced with a width
+multiplier so the convolution stacks stay CPU-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from ..module import Module, Sequential
+from .base import ClassifierModel
+
+__all__ = ["VGG", "vgg16", "vgg_tiny", "VGG16_CONFIG"]
+
+#: The canonical VGG-16 stage configuration: channel counts with "M" for max-pool.
+VGG16_CONFIG: List[Union[int, str]] = [
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, "M",
+    512, 512, 512, "M",
+    512, 512, 512, "M",
+]
+
+
+def _scaled(config: Sequence[Union[int, str]], width_mult: float) -> List[Union[int, str]]:
+    scaled: List[Union[int, str]] = []
+    for entry in config:
+        if entry == "M":
+            scaled.append("M")
+        else:
+            scaled.append(max(4, int(round(int(entry) * width_mult))))
+    return scaled
+
+
+class VGG(ClassifierModel):
+    """Plain convolutional network in the VGG style."""
+
+    arch_name = "vgg"
+
+    def __init__(
+        self,
+        config: Sequence[Union[int, str]],
+        num_classes: int = 100,
+        input_size: int = 32,
+        width_mult: float = 1.0,
+        in_channels: int = 3,
+        classifier_width: int = 64,
+        dropout: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(num_classes=num_classes, input_size=input_size)
+        config = _scaled(config, width_mult)
+        self.config = list(config)
+
+        layers: List[Module] = []
+        channels = in_channels
+        pool_count = 0
+        for entry in config:
+            if entry == "M":
+                layers.append(MaxPool2d(2))
+                pool_count += 1
+                continue
+            out_channels = int(entry)
+            layers.append(Conv2d(channels, out_channels, 3, padding=1, bias=False, seed=seed))
+            layers.append(BatchNorm2d(out_channels))
+            layers.append(ReLU())
+            channels = out_channels
+        self.features = Sequential(*layers)
+
+        self.pool = GlobalAvgPool2d()
+        head: List[Module] = [Linear(channels, classifier_width, seed=seed), ReLU()]
+        if dropout > 0.0:
+            head.append(Dropout(dropout, seed=seed))
+        head.append(Linear(classifier_width, num_classes, seed=seed))
+        self.classifier = Sequential(*head)
+        self._pool_count = pool_count
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.features(x)
+        out = self.pool(out)
+        return self.classifier(out)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.classifier.backward(grad_out)
+        grad = self.pool.backward(grad)
+        return self.features.backward(grad)
+
+
+def vgg16(
+    num_classes: int = 100,
+    input_size: int = 32,
+    width_mult: float = 0.25,
+    seed: Optional[int] = None,
+) -> VGG:
+    """VGG-16 topology (13 conv layers) at a configurable width multiplier."""
+    model = VGG(
+        VGG16_CONFIG,
+        num_classes=num_classes,
+        input_size=input_size,
+        width_mult=width_mult,
+        classifier_width=max(32, int(128 * width_mult)),
+        seed=seed,
+    )
+    model.arch_name = "vgg16"
+    return model
+
+
+def vgg_tiny(
+    num_classes: int = 10,
+    input_size: int = 16,
+    seed: Optional[int] = None,
+) -> VGG:
+    """A shallow VGG-style network for fast experiments and tests."""
+    config: List[Union[int, str]] = [16, "M", 32, "M", 64, "M"]
+    model = VGG(
+        config,
+        num_classes=num_classes,
+        input_size=input_size,
+        width_mult=1.0,
+        classifier_width=32,
+        seed=seed,
+    )
+    model.arch_name = "vgg_tiny"
+    return model

@@ -1,0 +1,160 @@
+"""Optimisers and learning-rate schedules.
+
+The paper fine-tunes with SGD (momentum 0.9, weight decay 4e-5); we provide
+SGD with momentum / Nesterov / weight decay plus step and cosine schedules.
+Optimisers are mask-aware: if a parameter carries a pruning mask, the update
+is re-masked after the step so pruned weights stay exactly zero (unless the
+caller explicitly wants dense updates, as the straight-through estimator in
+:mod:`repro.pruning.ste` does before re-projection).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["SGD", "StepLR", "CosineAnnealingLR", "ConstantLR"]
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and decoupled weight masking.
+
+    Parameters
+    ----------
+    parameters:
+        Iterable of :class:`~repro.nn.module.Parameter`.
+    lr:
+        Learning rate.
+    momentum:
+        Classical momentum coefficient (0 disables the velocity buffer).
+    weight_decay:
+        L2 penalty added to the gradient.
+    nesterov:
+        Use Nesterov momentum.
+    respect_masks:
+        When ``True`` (default) the parameter mask is re-applied after every
+        step so pruned weights remain zero.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 4e-5,
+        nesterov: bool = False,
+        respect_masks: bool = True,
+    ) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("SGD received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"Learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self.respect_masks = respect_masks
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every managed parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one SGD update using the accumulated gradients."""
+        for idx, param in enumerate(self.parameters):
+            if not param.requires_grad or param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * param.data
+
+            if self.momentum > 0:
+                velocity = self._velocity.get(idx)
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[idx] = velocity
+                update = grad + self.momentum * velocity if self.nesterov else velocity
+            else:
+                update = grad
+
+            param.data -= self.lr * update
+            if self.respect_masks:
+                param.apply_mask()
+
+    def state_dict(self) -> dict:
+        """Serialisable optimiser state (velocities and hyper-parameters)."""
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "velocity": {k: v.copy() for k, v in self._velocity.items()},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = state["lr"]
+        self.momentum = state["momentum"]
+        self.weight_decay = state["weight_decay"]
+        self._velocity = {k: v.copy() for k, v in state["velocity"].items()}
+
+
+class _Scheduler:
+    """Base class for learning-rate schedules attached to an :class:`SGD` instance."""
+
+    def __init__(self, optimizer: SGD) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self, epoch: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and update the optimiser's learning rate."""
+        self.epoch += 1
+        lr = self.get_lr(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(_Scheduler):
+    """Keep the learning rate fixed (the default when no schedule is given)."""
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(_Scheduler):
+    """Decay the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: SGD, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine-annealed learning rate over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: SGD, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch: int) -> float:
+        progress = min(epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * progress))

@@ -1,0 +1,176 @@
+"""Training, fine-tuning and evaluation loops.
+
+The loops operate on any iterable of ``(images, targets)`` batches (the
+loaders in :mod:`repro.data` provide them) and on models implementing the
+``forward`` / ``backward`` interface of :class:`repro.nn.module.Module`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .loss import CrossEntropyLoss, accuracy
+from .module import Module
+from .optim import SGD, ConstantLR, _Scheduler
+
+__all__ = ["TrainConfig", "TrainResult", "Trainer", "evaluate", "accumulate_gradients"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for (fine-)tuning, defaulting to the paper's recipe."""
+
+    epochs: int = 5
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 4e-5
+    label_smoothing: float = 0.0
+    max_batches_per_epoch: Optional[int] = None
+    verbose: bool = False
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch history returned by :class:`Trainer.fit`."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def final_val_accuracy(self) -> float:
+        return self.val_accuracy[-1] if self.val_accuracy else float("nan")
+
+    @property
+    def best_val_accuracy(self) -> float:
+        return max(self.val_accuracy) if self.val_accuracy else float("nan")
+
+
+def evaluate(model: Module, batches: Iterable[Tuple[np.ndarray, np.ndarray]]) -> float:
+    """Top-1 accuracy of ``model`` over all batches (evaluation mode)."""
+    model.eval()
+    correct = 0
+    total = 0
+    for images, targets in batches:
+        logits = model(images)
+        preds = logits.argmax(axis=1)
+        correct += int((preds == targets).sum())
+        total += len(targets)
+    if total == 0:
+        raise ValueError("evaluate() received an empty batch iterable")
+    return correct / total
+
+
+def accumulate_gradients(
+    model: Module,
+    batches: Iterable[Tuple[np.ndarray, np.ndarray]],
+    loss_fn: Optional[CrossEntropyLoss] = None,
+    max_batches: Optional[int] = None,
+) -> Dict[str, np.ndarray]:
+    """Accumulate parameter gradients over a set of batches without updating weights.
+
+    This is the primitive used to estimate the class-aware saliency score:
+    gradients are averaged over the user-preferred class samples and returned
+    keyed by qualified parameter name.  The model is left in evaluation mode
+    with its gradients cleared.
+    """
+    loss_fn = loss_fn or CrossEntropyLoss()
+    model.eval()
+    model.zero_grad()
+
+    batch_count = 0
+    for images, targets in batches:
+        if max_batches is not None and batch_count >= max_batches:
+            break
+        logits = model(images)
+        loss_fn(logits, targets)
+        grad_logits = loss_fn.backward()
+        model.backward(grad_logits)
+        batch_count += 1
+
+    if batch_count == 0:
+        raise ValueError("accumulate_gradients() received no batches")
+
+    grads: Dict[str, np.ndarray] = {}
+    for name, param in model.named_parameters():
+        if param.grad is not None:
+            grads[name] = param.grad / batch_count
+    model.zero_grad()
+    return grads
+
+
+class Trainer:
+    """SGD training / fine-tuning driver.
+
+    Example
+    -------
+    >>> trainer = Trainer(model, TrainConfig(epochs=2, lr=0.05))
+    >>> history = trainer.fit(train_loader, val_loader)
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        config: Optional[TrainConfig] = None,
+        scheduler_factory=None,
+    ) -> None:
+        self.model = model
+        self.config = config or TrainConfig()
+        self.loss_fn = CrossEntropyLoss(label_smoothing=self.config.label_smoothing)
+        self.optimizer = SGD(
+            model.parameters(),
+            lr=self.config.lr,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+        if scheduler_factory is None:
+            self.scheduler: _Scheduler = ConstantLR(self.optimizer)
+        else:
+            self.scheduler = scheduler_factory(self.optimizer)
+
+    def train_epoch(self, train_batches: Iterable[Tuple[np.ndarray, np.ndarray]]) -> Tuple[float, float]:
+        """Run one epoch; returns ``(mean_loss, mean_accuracy)``."""
+        self.model.train()
+        losses: List[float] = []
+        accuracies: List[float] = []
+        for batch_idx, (images, targets) in enumerate(train_batches):
+            if (
+                self.config.max_batches_per_epoch is not None
+                and batch_idx >= self.config.max_batches_per_epoch
+            ):
+                break
+            self.optimizer.zero_grad()
+            logits = self.model(images)
+            loss = self.loss_fn(logits, targets)
+            grad_logits = self.loss_fn.backward()
+            self.model.backward(grad_logits)
+            self.optimizer.step()
+            losses.append(loss)
+            accuracies.append(accuracy(logits, targets))
+        if not losses:
+            raise ValueError("train_epoch() received no batches")
+        return float(np.mean(losses)), float(np.mean(accuracies))
+
+    def fit(
+        self,
+        train_loader,
+        val_loader=None,
+    ) -> TrainResult:
+        """Train for ``config.epochs`` epochs, evaluating after each epoch."""
+        result = TrainResult()
+        for epoch in range(self.config.epochs):
+            loss, train_acc = self.train_epoch(iter(train_loader))
+            result.train_loss.append(loss)
+            result.train_accuracy.append(train_acc)
+            if val_loader is not None:
+                val_acc = evaluate(self.model, iter(val_loader))
+                result.val_accuracy.append(val_acc)
+            self.scheduler.step()
+            if self.config.verbose:  # pragma: no cover - logging only
+                val_txt = f", val_acc={result.val_accuracy[-1]:.3f}" if val_loader else ""
+                print(f"[epoch {epoch + 1}/{self.config.epochs}] loss={loss:.4f}, "
+                      f"train_acc={train_acc:.3f}{val_txt}")
+        return result

@@ -1,0 +1,52 @@
+"""The CRISP pruning framework and its baselines (the paper's core contribution)."""
+
+from .saliency import (
+    SALIENCY_CRITERIA,
+    class_aware_saliency,
+    compute_saliency,
+    gradient_saliency,
+    magnitude_saliency,
+    random_saliency,
+)
+from .ste import STEConfig, refresh_nm_masks, ste_finetune
+from .schedule import SparsitySchedule, cubic_schedule, linear_schedule, one_shot_schedule
+from .metrics import (
+    LayerStats,
+    ModelStats,
+    collect_model_stats,
+    flops_ratio,
+    layer_sparsities,
+    model_sparsity,
+    model_storage_bits,
+)
+from .crisp import CRISPConfig, CRISPPruner, PruningIterationRecord, PruningResult, crisp_prune
+from . import baselines
+
+__all__ = [
+    "SALIENCY_CRITERIA",
+    "class_aware_saliency",
+    "compute_saliency",
+    "gradient_saliency",
+    "magnitude_saliency",
+    "random_saliency",
+    "STEConfig",
+    "refresh_nm_masks",
+    "ste_finetune",
+    "SparsitySchedule",
+    "cubic_schedule",
+    "linear_schedule",
+    "one_shot_schedule",
+    "LayerStats",
+    "ModelStats",
+    "collect_model_stats",
+    "flops_ratio",
+    "layer_sparsities",
+    "model_sparsity",
+    "model_storage_bits",
+    "CRISPConfig",
+    "CRISPPruner",
+    "PruningIterationRecord",
+    "PruningResult",
+    "crisp_prune",
+    "baselines",
+]

@@ -1,0 +1,30 @@
+"""Baseline pruning methods the paper compares CRISP against.
+
+* :mod:`block_only` — coarse-grained block pruning without the N:M component
+  and without the uniform-rows constraint (the Fig. 3 comparison).
+* :mod:`nm_only` — fine-grained N:M pruning at a fixed ratio (the Fig. 1
+  comparison; also what NVIDIA ASP provides).
+* :mod:`unstructured` — global magnitude / saliency pruning with no
+  structure (upper bound on accuracy, useless for hardware).
+* :mod:`channel` — class-aware channel (filter) pruning in the spirit of
+  OCAP / CAP'NN / MyML.
+* :mod:`dense` — dense fine-tuning on the user classes (the accuracy upper
+  bound reported in Fig. 7).
+"""
+
+from .common import BaselineResult, finetune
+from .block_only import block_prune
+from .nm_only import nm_prune
+from .unstructured import unstructured_prune
+from .channel import channel_prune
+from .dense import dense_finetune
+
+__all__ = [
+    "BaselineResult",
+    "finetune",
+    "block_prune",
+    "nm_prune",
+    "unstructured_prune",
+    "channel_prune",
+    "dense_finetune",
+]

@@ -1,0 +1,74 @@
+"""Coarse-grained block pruning baseline (Fig. 3 comparison).
+
+Whole ``B x B`` blocks are removed based on their aggregate saliency; unlike
+CRISP there is no fine-grained N:M component and no uniform-blocks-per-row
+constraint — blocks are selected globally per layer by score, which is the
+"block sparsity" configuration the paper shows collapsing above ~80 %
+sparsity because critical weights concentrated in one block get removed
+wholesale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ...nn.models.base import prunable_layers
+from ...nn.module import Module
+from ...sparsity.block import topk_block_mask
+from ..saliency import class_aware_saliency, magnitude_saliency
+from .common import BaselineResult, finalize_result, finetune
+
+__all__ = ["block_prune"]
+
+
+def block_prune(
+    model: Module,
+    target_sparsity: float,
+    block_size: int = 16,
+    train_loader=None,
+    val_loader=None,
+    finetune_epochs: int = 1,
+    finetune_lr: float = 0.02,
+    class_aware: bool = True,
+    saliency_batches: int = 4,
+    baseline_accuracy: Optional[float] = None,
+) -> BaselineResult:
+    """Prune ``target_sparsity`` of each layer's weights by removing whole blocks.
+
+    Parameters
+    ----------
+    model:
+        Network to prune in place.
+    target_sparsity:
+        Fraction of weights to remove per layer (block granularity rounds it).
+    class_aware:
+        When ``True`` and a ``train_loader`` is given, block scores use the
+        class-aware saliency; otherwise pure weight magnitude.
+    """
+    if not 0.0 <= target_sparsity < 1.0:
+        raise ValueError(f"target_sparsity must be in [0, 1), got {target_sparsity}")
+
+    if class_aware and train_loader is not None:
+        saliency = class_aware_saliency(model, iter(train_loader), max_batches=saliency_batches)
+    else:
+        saliency = magnitude_saliency(model)
+
+    keep_ratio = 1.0 - target_sparsity
+    for name, layer in prunable_layers(model).items():
+        scores = saliency.get(name, np.abs(layer.reshaped_weight()))
+        mask = topk_block_mask(scores, block_size, keep_ratio)
+        layer.set_reshaped_mask(mask)
+
+    if train_loader is not None and finetune_epochs > 0:
+        finetune(model, train_loader, epochs=finetune_epochs, lr=finetune_lr)
+    model.apply_masks()
+
+    return finalize_result(
+        method=f"block-{block_size}",
+        model=model,
+        target_sparsity=target_sparsity,
+        val_loader=val_loader,
+        baseline_accuracy=baseline_accuracy,
+    )

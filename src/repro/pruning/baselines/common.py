@@ -1,0 +1,76 @@
+"""Shared plumbing for the baseline pruning methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ...nn.module import Module
+from ...nn.trainer import TrainConfig, Trainer, evaluate
+from ..metrics import flops_ratio, layer_sparsities, model_sparsity
+
+__all__ = ["BaselineResult", "finetune", "finalize_result"]
+
+
+@dataclass
+class BaselineResult:
+    """Common result record returned by every baseline pruner."""
+
+    method: str
+    target_sparsity: float
+    achieved_sparsity: float
+    final_accuracy: Optional[float] = None
+    baseline_accuracy: Optional[float] = None
+    flops_ratio: Optional[float] = None
+    layer_sparsity: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def accuracy_drop(self) -> Optional[float]:
+        if self.final_accuracy is None or self.baseline_accuracy is None:
+            return None
+        return self.baseline_accuracy - self.final_accuracy
+
+
+def finetune(
+    model: Module,
+    train_loader,
+    epochs: int = 1,
+    lr: float = 0.02,
+    max_batches_per_epoch: Optional[int] = None,
+) -> float:
+    """Mask-respecting fine-tuning shared by the baselines; returns final loss."""
+    trainer = Trainer(
+        model,
+        TrainConfig(
+            epochs=epochs,
+            lr=lr,
+            max_batches_per_epoch=max_batches_per_epoch,
+        ),
+    )
+    result = trainer.fit(train_loader, val_loader=None)
+    return result.train_loss[-1] if result.train_loss else float("nan")
+
+
+def finalize_result(
+    method: str,
+    model: Module,
+    target_sparsity: float,
+    val_loader=None,
+    baseline_accuracy: Optional[float] = None,
+    input_size: Optional[int] = None,
+) -> BaselineResult:
+    """Measure achieved sparsity / accuracy / FLOPs after a baseline has pruned."""
+    result = BaselineResult(
+        method=method,
+        target_sparsity=target_sparsity,
+        achieved_sparsity=model_sparsity(model),
+        baseline_accuracy=baseline_accuracy,
+        layer_sparsity=layer_sparsities(model),
+        flops_ratio=flops_ratio(model, input_size),
+    )
+    if val_loader is not None:
+        result.final_accuracy = evaluate(model, iter(val_loader))
+    return result

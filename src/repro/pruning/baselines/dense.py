@@ -1,0 +1,44 @@
+"""Dense fine-tuning baseline: the paper's accuracy upper bound.
+
+The original dense model is fine-tuned on the user-preferred classes with no
+pruning at all.  Its accuracy is the "upper bound" row of Fig. 7 and the
+reference against which every pruning method's accuracy drop is measured.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...nn.module import Module
+from ...nn.trainer import evaluate
+from .common import BaselineResult, finalize_result, finetune
+
+__all__ = ["dense_finetune"]
+
+
+def dense_finetune(
+    model: Module,
+    train_loader,
+    val_loader=None,
+    epochs: int = 2,
+    lr: float = 0.02,
+    max_batches_per_epoch: Optional[int] = None,
+) -> BaselineResult:
+    """Fine-tune the dense model on the user classes and report its accuracy."""
+    baseline_accuracy = (
+        evaluate(model, iter(val_loader)) if val_loader is not None else None
+    )
+    finetune(
+        model,
+        train_loader,
+        epochs=epochs,
+        lr=lr,
+        max_batches_per_epoch=max_batches_per_epoch,
+    )
+    return finalize_result(
+        method="dense",
+        model=model,
+        target_sparsity=0.0,
+        val_loader=val_loader,
+        baseline_accuracy=baseline_accuracy,
+    )

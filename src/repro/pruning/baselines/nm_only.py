@@ -1,0 +1,54 @@
+"""Fine-grained N:M pruning baseline (the Fig. 1 comparison, NVIDIA-ASP style).
+
+Every layer gets the same N:M ratio, so the model sparsity is pinned at
+``1 - N/M`` — the limitation CRISP's hybrid pattern removes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...nn.models.base import prunable_layers
+from ...nn.module import Module
+from ...sparsity.nm import nm_mask
+from ..saliency import class_aware_saliency, magnitude_saliency
+from .common import BaselineResult, finalize_result, finetune
+
+__all__ = ["nm_prune"]
+
+
+def nm_prune(
+    model: Module,
+    n: int,
+    m: int,
+    train_loader=None,
+    val_loader=None,
+    finetune_epochs: int = 1,
+    finetune_lr: float = 0.02,
+    class_aware: bool = True,
+    saliency_batches: int = 4,
+    baseline_accuracy: Optional[float] = None,
+) -> BaselineResult:
+    """Apply a uniform N:M pattern to every prunable layer and fine-tune."""
+    if class_aware and train_loader is not None:
+        saliency = class_aware_saliency(model, iter(train_loader), max_batches=saliency_batches)
+    else:
+        saliency = magnitude_saliency(model)
+
+    for name, layer in prunable_layers(model).items():
+        scores = saliency.get(name, np.abs(layer.reshaped_weight()))
+        layer.set_reshaped_mask(nm_mask(scores, n, m, axis=0))
+
+    if train_loader is not None and finetune_epochs > 0:
+        finetune(model, train_loader, epochs=finetune_epochs, lr=finetune_lr)
+    model.apply_masks()
+
+    return finalize_result(
+        method=f"nm-{n}:{m}",
+        model=model,
+        target_sparsity=1.0 - n / m,
+        val_loader=val_loader,
+        baseline_accuracy=baseline_accuracy,
+    )

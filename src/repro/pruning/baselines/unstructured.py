@@ -1,0 +1,75 @@
+"""Unstructured (element-wise) global pruning baseline.
+
+The classic magnitude / saliency criterion with no structural constraint:
+the globally least-important weights are removed until the target sparsity is
+hit.  It is the accuracy-friendliest pattern but — as the paper's
+introduction argues — gives no hardware benefit until extreme (~99 %)
+sparsity because of the irregular memory access pattern, which is exactly
+what the hardware benchmarks show through its poor accelerator utilisation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...nn.models.base import prunable_layers
+from ...nn.module import Module
+from ..saliency import class_aware_saliency, magnitude_saliency
+from .common import BaselineResult, finalize_result, finetune
+
+__all__ = ["unstructured_prune"]
+
+
+def unstructured_prune(
+    model: Module,
+    target_sparsity: float,
+    train_loader=None,
+    val_loader=None,
+    finetune_epochs: int = 1,
+    finetune_lr: float = 0.02,
+    class_aware: bool = True,
+    saliency_batches: int = 4,
+    baseline_accuracy: Optional[float] = None,
+) -> BaselineResult:
+    """Globally remove the ``target_sparsity`` fraction of least-salient weights."""
+    if not 0.0 <= target_sparsity < 1.0:
+        raise ValueError(f"target_sparsity must be in [0, 1), got {target_sparsity}")
+
+    if class_aware and train_loader is not None:
+        saliency = class_aware_saliency(model, iter(train_loader), max_batches=saliency_batches)
+    else:
+        saliency = magnitude_saliency(model)
+
+    layers = prunable_layers(model)
+    all_scores = np.concatenate(
+        [saliency.get(name, np.abs(layer.reshaped_weight())).ravel() for name, layer in layers.items()]
+    )
+    prune_count = int(target_sparsity * all_scores.size)
+    if prune_count > 0:
+        threshold = np.partition(all_scores, prune_count - 1)[prune_count - 1]
+    else:
+        threshold = -np.inf
+
+    for name, layer in layers.items():
+        scores = saliency.get(name, np.abs(layer.reshaped_weight()))
+        mask = (scores > threshold).astype(np.float64)
+        # Guarantee at least one weight per output column survives.
+        empty_cols = mask.sum(axis=0) == 0
+        if empty_cols.any():
+            best_rows = scores.argmax(axis=0)
+            mask[best_rows[empty_cols], np.nonzero(empty_cols)[0]] = 1.0
+        layer.set_reshaped_mask(mask)
+
+    if train_loader is not None and finetune_epochs > 0:
+        finetune(model, train_loader, epochs=finetune_epochs, lr=finetune_lr)
+    model.apply_masks()
+
+    return finalize_result(
+        method="unstructured",
+        model=model,
+        target_sparsity=target_sparsity,
+        val_loader=val_loader,
+        baseline_accuracy=baseline_accuracy,
+    )

@@ -1,0 +1,138 @@
+"""Straight-through estimator (STE) fine-tuning for N:M pruning.
+
+CRISP extends the straight-through estimator (Bengio et al., 2013) to the
+N:M setting: the forward pass uses the masked weights, but gradients are
+"back-projected" onto the *dense* weight copy.  Because the dense weights
+keep evolving underneath the mask, weights that were pruned early — perhaps
+due to small or noisy gradients — can grow back and be re-selected when the
+N:M mask is recomputed, which matters when the relevant classes change
+(Sec. III-C of the paper).
+
+In this substrate the mechanism maps onto two switches:
+
+* layers always compute with ``Parameter.effective()`` (``data * mask``), so
+  installing a mask never destroys the dense copy;
+* the optimiser is run with ``respect_masks=False`` so updates reach every
+  dense weight, and the mask is refreshed from the updated dense weights at
+  the end of each STE round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..nn.loss import CrossEntropyLoss
+from ..nn.models.base import prunable_layers
+from ..nn.module import Module
+from ..nn.optim import SGD
+from ..sparsity.nm import nm_mask
+
+__all__ = ["STEConfig", "ste_finetune", "refresh_nm_masks"]
+
+
+@dataclass
+class STEConfig:
+    """Hyper-parameters for one STE fine-tuning round."""
+
+    epochs: int = 1
+    lr: float = 0.02
+    momentum: float = 0.9
+    weight_decay: float = 4e-5
+    max_batches_per_epoch: Optional[int] = None
+
+
+def refresh_nm_masks(
+    model: Module,
+    n: int,
+    m: int,
+    saliency: Optional[Dict[str, np.ndarray]] = None,
+) -> Dict[str, np.ndarray]:
+    """Recompute the N:M component of every prunable layer's mask.
+
+    The new fine-grained mask is derived from ``saliency`` when provided
+    (class-aware selection) and from the dense weight magnitudes otherwise.
+    Any existing coarse (block) component is preserved by intersecting the
+    new N:M mask with the block structure of the previous mask: a block whose
+    entries were all pruned stays pruned.
+
+    Returns the installed reshaped masks keyed by layer name.
+    """
+    installed: Dict[str, np.ndarray] = {}
+    for name, layer in prunable_layers(model).items():
+        weight2d = layer.reshaped_weight()
+        scores = np.abs(weight2d)
+        if saliency is not None and name in saliency:
+            scores = np.abs(saliency[name])
+        fine = nm_mask(scores, n, m, axis=0)
+
+        previous = layer.weight.mask
+        if previous is not None:
+            c_out = weight2d.shape[1]
+            previous2d = previous.reshape(c_out, -1).T
+            # Preserve fully-pruned regions (the coarse component) of the old mask.
+            coarse_keep = (previous2d != 0).astype(np.float64)
+            # Only constrain where an entire M-group was wiped out by block pruning;
+            # element-level re-selection inside live blocks is the point of STE.
+            fine = fine * np.where(coarse_keep.sum(axis=0, keepdims=True) > 0, 1.0, 0.0)
+            fine = np.where(previous2d.sum(axis=0, keepdims=True) == 0, 0.0, fine)
+        layer.set_reshaped_mask(fine)
+        installed[name] = fine
+    return installed
+
+
+def ste_finetune(
+    model: Module,
+    batches_factory,
+    config: Optional[STEConfig] = None,
+    loss_fn: Optional[CrossEntropyLoss] = None,
+) -> float:
+    """Fine-tune with masked forward passes and dense (straight-through) updates.
+
+    Parameters
+    ----------
+    model:
+        Model whose prunable layers already carry masks.
+    batches_factory:
+        Zero-argument callable returning an iterable of ``(images, targets)``
+        batches (called once per epoch so shuffling loaders work naturally).
+    config:
+        STE hyper-parameters.
+
+    Returns
+    -------
+    float
+        Mean training loss of the final epoch.
+    """
+    config = config or STEConfig()
+    loss_fn = loss_fn or CrossEntropyLoss()
+    optimizer = SGD(
+        model.parameters(),
+        lr=config.lr,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+        respect_masks=False,
+    )
+
+    last_epoch_loss = float("nan")
+    for _ in range(config.epochs):
+        model.train()
+        losses = []
+        for batch_idx, (images, targets) in enumerate(batches_factory()):
+            if (
+                config.max_batches_per_epoch is not None
+                and batch_idx >= config.max_batches_per_epoch
+            ):
+                break
+            optimizer.zero_grad()
+            logits = model(images)
+            loss = loss_fn(logits, targets)
+            grad_logits = loss_fn.backward()
+            model.backward(grad_logits)
+            optimizer.step()
+            losses.append(loss)
+        if losses:
+            last_epoch_loss = float(np.mean(losses))
+    return last_epoch_loss

@@ -1,0 +1,503 @@
+"""Sparse storage formats and metadata-cost accounting.
+
+Reproduces the storage analysis of Sec. III-A and Fig. 4 (right) of the
+paper: the CRISP hybrid format needs only block column-indices
+(Blocked-Ellpack over the coarse grid) plus 2-bit intra-group offsets for the
+N:M values, which is several times cheaper than general-purpose CSR or
+ELLPACK encodings of the same matrix.
+
+Every format implements ``from_dense`` / ``to_dense`` (a lossless round trip
+for matrices that satisfy the format's structural assumptions) and reports
+
+* ``data_bits`` — bits spent on the retained values,
+* ``metadata_bits`` — bits spent on indices/pointers/padding bookkeeping,
+* ``total_bits`` — their sum.
+
+The paper's closed-form metadata estimates are available as
+:func:`paper_block_metadata_bits` and :func:`paper_nm_metadata_bits`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .block import BlockGrid, partition_into_blocks
+from .masks import pad_to_multiple
+
+__all__ = [
+    "FormatSummary",
+    "DenseFormat",
+    "CSRFormat",
+    "ELLPACKFormat",
+    "BlockedEllpackFormat",
+    "CRISPFormat",
+    "paper_block_metadata_bits",
+    "paper_nm_metadata_bits",
+    "compare_formats",
+    "DEFAULT_VALUE_BITS",
+    "DEFAULT_INDEX_BITS",
+]
+
+#: Bits per stored weight value (8-bit quantised deployment, as in edge inference).
+DEFAULT_VALUE_BITS = 8
+#: Bits per general-purpose index/pointer (CSR / ELLPACK column indices).
+DEFAULT_INDEX_BITS = 16
+
+
+def _ceil_log2(value: int) -> int:
+    """``ceil(log2(value))`` with a floor of 1 bit (an index always costs >= 1 bit)."""
+    if value <= 1:
+        return 1
+    return int(math.ceil(math.log2(value)))
+
+
+@dataclass
+class FormatSummary:
+    """Bit-cost summary of one encoded matrix."""
+
+    format_name: str
+    shape: Tuple[int, int]
+    nnz: int
+    data_bits: int
+    metadata_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.data_bits + self.metadata_bits
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8.0
+
+    def metadata_overhead_vs(self, other: "FormatSummary") -> float:
+        """Ratio of this format's metadata bits to another's (Fig. 4 comparison)."""
+        if other.metadata_bits == 0:
+            return math.inf
+        return self.metadata_bits / other.metadata_bits
+
+
+class DenseFormat:
+    """Baseline dense storage: every element stored, no metadata."""
+
+    name = "dense"
+
+    def __init__(self, matrix: np.ndarray, value_bits: int = DEFAULT_VALUE_BITS) -> None:
+        self.matrix = np.asarray(matrix, dtype=np.float64)
+        self.value_bits = value_bits
+
+    @classmethod
+    def from_dense(cls, matrix: np.ndarray, value_bits: int = DEFAULT_VALUE_BITS) -> "DenseFormat":
+        return cls(matrix, value_bits)
+
+    def to_dense(self) -> np.ndarray:
+        return self.matrix.copy()
+
+    def summary(self) -> FormatSummary:
+        return FormatSummary(
+            format_name=self.name,
+            shape=self.matrix.shape,
+            nnz=int(np.count_nonzero(self.matrix)),
+            data_bits=self.matrix.size * self.value_bits,
+            metadata_bits=0,
+        )
+
+
+class CSRFormat:
+    """Compressed sparse row format.
+
+    Stores the non-zero values row by row, with per-value column indices and
+    a row-pointer array.  Column indices cost ``ceil(log2(cols))`` bits and
+    row pointers ``ceil(log2(nnz + 1))`` bits each.
+    """
+
+    name = "csr"
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        values: np.ndarray,
+        col_indices: np.ndarray,
+        row_ptr: np.ndarray,
+        value_bits: int = DEFAULT_VALUE_BITS,
+    ) -> None:
+        self.shape = shape
+        self.values = values
+        self.col_indices = col_indices
+        self.row_ptr = row_ptr
+        self.value_bits = value_bits
+
+    @classmethod
+    def from_dense(cls, matrix: np.ndarray, value_bits: int = DEFAULT_VALUE_BITS) -> "CSRFormat":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"Expected a 2-D matrix, got shape {matrix.shape}")
+        rows, _ = matrix.shape
+        values: List[float] = []
+        col_indices: List[int] = []
+        row_ptr = [0]
+        for r in range(rows):
+            nz = np.nonzero(matrix[r])[0]
+            values.extend(matrix[r, nz].tolist())
+            col_indices.extend(nz.tolist())
+            row_ptr.append(len(values))
+        return cls(
+            shape=matrix.shape,
+            values=np.asarray(values),
+            col_indices=np.asarray(col_indices, dtype=np.int64),
+            row_ptr=np.asarray(row_ptr, dtype=np.int64),
+            value_bits=value_bits,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape)
+        for r in range(self.shape[0]):
+            start, end = self.row_ptr[r], self.row_ptr[r + 1]
+            dense[r, self.col_indices[start:end]] = self.values[start:end]
+        return dense
+
+    def summary(self) -> FormatSummary:
+        nnz = len(self.values)
+        col_bits = _ceil_log2(self.shape[1])
+        ptr_bits = _ceil_log2(nnz + 1)
+        metadata = nnz * col_bits + len(self.row_ptr) * ptr_bits
+        return FormatSummary(
+            format_name=self.name,
+            shape=self.shape,
+            nnz=nnz,
+            data_bits=nnz * self.value_bits,
+            metadata_bits=metadata,
+        )
+
+
+class ELLPACKFormat:
+    """ELLPACK format: fixed number of slots per row (the max row population).
+
+    Rows shorter than the widest row are zero-padded, and every slot —
+    including padding — carries a column index, which is why ELLPACK has the
+    largest metadata overhead in Fig. 4 for irregular sparsity.
+    """
+
+    name = "ellpack"
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        values: np.ndarray,
+        col_indices: np.ndarray,
+        row_lengths: np.ndarray,
+        value_bits: int = DEFAULT_VALUE_BITS,
+    ) -> None:
+        self.shape = shape
+        self.values = values  # (rows, slots)
+        self.col_indices = col_indices  # (rows, slots)
+        self.row_lengths = row_lengths
+        self.value_bits = value_bits
+
+    @classmethod
+    def from_dense(cls, matrix: np.ndarray, value_bits: int = DEFAULT_VALUE_BITS) -> "ELLPACKFormat":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"Expected a 2-D matrix, got shape {matrix.shape}")
+        rows, _ = matrix.shape
+        row_nz = [np.nonzero(matrix[r])[0] for r in range(rows)]
+        row_lengths = np.asarray([len(nz) for nz in row_nz], dtype=np.int64)
+        slots = int(row_lengths.max()) if rows > 0 else 0
+        slots = max(slots, 1)
+        values = np.zeros((rows, slots))
+        col_indices = np.zeros((rows, slots), dtype=np.int64)
+        for r, nz in enumerate(row_nz):
+            values[r, : len(nz)] = matrix[r, nz]
+            col_indices[r, : len(nz)] = nz
+        return cls(matrix.shape, values, col_indices, row_lengths, value_bits)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape)
+        for r in range(self.shape[0]):
+            length = self.row_lengths[r]
+            dense[r, self.col_indices[r, :length]] = self.values[r, :length]
+        return dense
+
+    def summary(self) -> FormatSummary:
+        rows, slots = self.values.shape
+        col_bits = _ceil_log2(self.shape[1])
+        # Every slot stores a value and an index, padded or not.
+        data_bits = rows * slots * self.value_bits
+        metadata_bits = rows * slots * col_bits
+        return FormatSummary(
+            format_name=self.name,
+            shape=self.shape,
+            nnz=int(self.row_lengths.sum()),
+            data_bits=data_bits,
+            metadata_bits=metadata_bits,
+        )
+
+
+class BlockedEllpackFormat:
+    """Blocked-Ellpack: dense ``B x B`` blocks indexed per block-row.
+
+    Retained blocks are stored densely; metadata is one block-column index
+    per retained block.  Assumes (but does not require) a uniform number of
+    blocks per row — when rows differ, slots are padded to the widest row as
+    in element-wise ELLPACK.
+    """
+
+    name = "blocked-ellpack"
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        block_size: int,
+        blocks: np.ndarray,
+        block_cols: np.ndarray,
+        blocks_per_row: np.ndarray,
+        value_bits: int = DEFAULT_VALUE_BITS,
+    ) -> None:
+        self.shape = shape
+        self.block_size = block_size
+        self.blocks = blocks  # (block_rows, slots, B, B)
+        self.block_cols = block_cols  # (block_rows, slots)
+        self.blocks_per_row = blocks_per_row
+        self.value_bits = value_bits
+
+    @classmethod
+    def from_dense(
+        cls,
+        matrix: np.ndarray,
+        block_size: int,
+        value_bits: int = DEFAULT_VALUE_BITS,
+    ) -> "BlockedEllpackFormat":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        tiles, grid = partition_into_blocks(matrix, block_size)
+        nonzero = tiles.reshape(grid.block_rows, grid.block_cols, -1).any(axis=2)
+        blocks_per_row = nonzero.sum(axis=1).astype(np.int64)
+        slots = max(1, int(blocks_per_row.max()))
+        blocks = np.zeros((grid.block_rows, slots, block_size, block_size))
+        block_cols = np.zeros((grid.block_rows, slots), dtype=np.int64)
+        for br in range(grid.block_rows):
+            cols = np.nonzero(nonzero[br])[0]
+            for slot, bc in enumerate(cols):
+                blocks[br, slot] = tiles[br, bc]
+                block_cols[br, slot] = bc
+        return cls(matrix.shape, block_size, blocks, block_cols, blocks_per_row, value_bits)
+
+    def to_dense(self) -> np.ndarray:
+        grid = BlockGrid(self.shape[0], self.shape[1], self.block_size)
+        padded = np.zeros(grid.padded_shape)
+        for br in range(grid.block_rows):
+            for slot in range(self.blocks_per_row[br]):
+                bc = self.block_cols[br, slot]
+                r0, c0 = br * self.block_size, bc * self.block_size
+                padded[r0 : r0 + self.block_size, c0 : c0 + self.block_size] = self.blocks[br, slot]
+        return padded[: self.shape[0], : self.shape[1]]
+
+    def summary(self) -> FormatSummary:
+        grid = BlockGrid(self.shape[0], self.shape[1], self.block_size)
+        stored_blocks = int(self.blocks_per_row.sum())
+        index_bits = _ceil_log2(grid.block_cols)
+        data_bits = stored_blocks * self.block_size * self.block_size * self.value_bits
+        metadata_bits = stored_blocks * index_bits
+        nnz = int(np.count_nonzero(self.to_dense()))
+        return FormatSummary(
+            format_name=self.name,
+            shape=self.shape,
+            nnz=nnz,
+            data_bits=data_bits,
+            metadata_bits=metadata_bits,
+        )
+
+
+class CRISPFormat:
+    """The CRISP hybrid format: Blocked-Ellpack block indices + N:M intra-group offsets.
+
+    Encoding (Fig. 4 / Fig. 5, step 5 of the paper):
+
+    * For block sparsity, the column index of each retained block is stored
+      per block-row (Blocked-Ellpack over the block grid).
+    * Inside each retained block, only the N values of every group of M
+      consecutive rows are stored, each with a ``ceil(log2(M))``-bit offset
+      locating it inside its group.
+
+    The round trip is exact when the matrix satisfies the hybrid pattern
+    (uniform blocks per row, N:M compliant inside retained blocks); matrices
+    that violate N:M are encoded lossily by keeping the N largest-magnitude
+    values per group (a warning is available via ``is_lossless``).
+    """
+
+    name = "crisp"
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        n: int,
+        m: int,
+        block_size: int,
+        block_cols: np.ndarray,
+        blocks_per_row: np.ndarray,
+        group_values: np.ndarray,
+        group_offsets: np.ndarray,
+        is_lossless: bool,
+        value_bits: int = DEFAULT_VALUE_BITS,
+    ) -> None:
+        self.shape = shape
+        self.n = n
+        self.m = m
+        self.block_size = block_size
+        self.block_cols = block_cols  # (block_rows, slots)
+        self.blocks_per_row = blocks_per_row  # (block_rows,)
+        # group_values / group_offsets: (block_rows, slots, groups_per_block, B, n)
+        self.group_values = group_values
+        self.group_offsets = group_offsets
+        self.is_lossless = is_lossless
+        self.value_bits = value_bits
+
+    @classmethod
+    def from_dense(
+        cls,
+        matrix: np.ndarray,
+        n: int,
+        m: int,
+        block_size: int,
+        value_bits: int = DEFAULT_VALUE_BITS,
+    ) -> "CRISPFormat":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"Expected a 2-D matrix, got shape {matrix.shape}")
+        if block_size % m != 0:
+            raise ValueError(
+                f"block_size ({block_size}) must be a multiple of M ({m}) so groups do not straddle blocks"
+            )
+        tiles, grid = partition_into_blocks(matrix, block_size)
+        nonzero = tiles.reshape(grid.block_rows, grid.block_cols, -1).any(axis=2)
+        blocks_per_row = nonzero.sum(axis=1).astype(np.int64)
+        slots = max(1, int(blocks_per_row.max()))
+        groups_per_block = block_size // m
+
+        block_cols = np.zeros((grid.block_rows, slots), dtype=np.int64)
+        group_values = np.zeros((grid.block_rows, slots, groups_per_block, block_size, n))
+        group_offsets = np.zeros(
+            (grid.block_rows, slots, groups_per_block, block_size, n), dtype=np.int64
+        )
+        lossless = True
+
+        for br in range(grid.block_rows):
+            cols = np.nonzero(nonzero[br])[0]
+            for slot, bc in enumerate(cols):
+                block = tiles[br, bc]  # (B, B): rows x cols within block
+                block_cols[br, slot] = bc
+                for g in range(groups_per_block):
+                    group = block[g * m : (g + 1) * m, :]  # (m, B) rows-within-group x block cols
+                    for col in range(block_size):
+                        column = group[:, col]
+                        nz = np.nonzero(column)[0]
+                        if len(nz) > n:
+                            lossless = False
+                            order = np.argsort(np.abs(column[nz]))[::-1]
+                            nz = np.sort(nz[order[:n]])
+                        for k, offset in enumerate(nz):
+                            group_values[br, slot, g, col, k] = column[offset]
+                            group_offsets[br, slot, g, col, k] = offset
+
+        return cls(
+            shape=matrix.shape,
+            n=n,
+            m=m,
+            block_size=block_size,
+            block_cols=block_cols,
+            blocks_per_row=blocks_per_row,
+            group_values=group_values,
+            group_offsets=group_offsets,
+            is_lossless=lossless,
+            value_bits=value_bits,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        grid = BlockGrid(self.shape[0], self.shape[1], self.block_size)
+        padded = np.zeros(grid.padded_shape)
+        groups_per_block = self.block_size // self.m
+        for br in range(grid.block_rows):
+            for slot in range(self.blocks_per_row[br]):
+                bc = self.block_cols[br, slot]
+                r0, c0 = br * self.block_size, bc * self.block_size
+                for g in range(groups_per_block):
+                    for col in range(self.block_size):
+                        for k in range(self.n):
+                            value = self.group_values[br, slot, g, col, k]
+                            if value == 0.0:
+                                continue
+                            offset = self.group_offsets[br, slot, g, col, k]
+                            padded[r0 + g * self.m + offset, c0 + col] = value
+        return padded[: self.shape[0], : self.shape[1]]
+
+    def summary(self) -> FormatSummary:
+        grid = BlockGrid(self.shape[0], self.shape[1], self.block_size)
+        stored_blocks = int(self.blocks_per_row.sum())
+        groups_per_block = self.block_size // self.m
+        values_per_block = groups_per_block * self.block_size * self.n
+
+        block_index_bits = _ceil_log2(grid.block_cols)
+        offset_bits = _ceil_log2(self.m)
+
+        data_bits = stored_blocks * values_per_block * self.value_bits
+        metadata_bits = (
+            stored_blocks * block_index_bits
+            + stored_blocks * values_per_block * offset_bits
+        )
+        nnz = int(np.count_nonzero(self.to_dense()))
+        return FormatSummary(
+            format_name=self.name,
+            shape=self.shape,
+            nnz=nnz,
+            data_bits=data_bits,
+            metadata_bits=metadata_bits,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Closed-form estimates from the paper (Sec. III-A)
+# ---------------------------------------------------------------------------
+
+def paper_block_metadata_bits(
+    s: int, k: int, k_prime: int, block_size: int
+) -> float:
+    """Paper's block-sparsity metadata estimate.
+
+    ``(S * K' * floor(log2(K'/B))) / (B * B)`` bits, where ``S`` is the number
+    of output channels (rows of the transposed view), ``K`` the reshaped column
+    count, ``K'`` the retained column count, and ``B`` the block size.
+    """
+    if k_prime <= 0 or k_prime > k:
+        raise ValueError(f"k_prime must be in (0, {k}], got {k_prime}")
+    index_bits = max(1, int(math.floor(math.log2(max(2, k_prime / block_size)))))
+    return s * k_prime * index_bits / (block_size * block_size)
+
+
+def paper_nm_metadata_bits(s: int, k_prime: int, n: int, m: int) -> float:
+    """Paper's N:M metadata estimate: ``S * K' * (N/M) * floor(log2(M))`` bits."""
+    if n <= 0 or m <= 0 or n > m:
+        raise ValueError(f"Invalid N:M ratio {n}:{m}")
+    return s * k_prime * (n / m) * max(1, int(math.floor(math.log2(m))))
+
+
+def compare_formats(
+    matrix: np.ndarray,
+    n: int = 2,
+    m: int = 4,
+    block_size: int = 16,
+    value_bits: int = DEFAULT_VALUE_BITS,
+) -> Dict[str, FormatSummary]:
+    """Encode ``matrix`` in every format and return their summaries keyed by name.
+
+    This is the primitive behind the Fig. 4 (right) metadata comparison.
+    """
+    formats = {
+        "dense": DenseFormat.from_dense(matrix, value_bits),
+        "csr": CSRFormat.from_dense(matrix, value_bits),
+        "ellpack": ELLPACKFormat.from_dense(matrix, value_bits),
+        "blocked-ellpack": BlockedEllpackFormat.from_dense(matrix, block_size, value_bits),
+        "crisp": CRISPFormat.from_dense(matrix, n, m, block_size, value_bits),
+    }
+    return {name: fmt.summary() for name, fmt in formats.items()}

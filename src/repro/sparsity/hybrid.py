@@ -1,0 +1,162 @@
+"""The CRISP hybrid structured sparsity pattern.
+
+Hybrid sparsity composes the two structured patterns of the paper:
+
+* fine-grained **N:M** sparsity *inside* retained blocks (every group of M
+  consecutive elements along the reduction dimension keeps N), and
+* coarse-grained **block** sparsity that removes whole ``B x B`` tiles, with
+  the same number of retained blocks in every block-row.
+
+The resulting average sparsity follows the paper's formula (Sec. III-A):
+
+    sparsity = 1 - (K' / K) * (N / M)
+
+where ``K`` is the number of columns of the reshaped matrix and ``K'`` the
+number of retained (non-zero) columns, i.e. ``K'/K`` is the block keep
+ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .block import BlockGrid, block_scores, block_mask_from_keep, uniform_block_mask
+from .masks import check_block_uniformity, check_nm_compliance, combine_masks, density
+from .nm import NMConfig, nm_mask
+
+__all__ = [
+    "HybridSparsityConfig",
+    "hybrid_average_sparsity",
+    "keep_blocks_for_target_sparsity",
+    "hybrid_mask",
+    "HybridMaskInfo",
+]
+
+
+@dataclass(frozen=True)
+class HybridSparsityConfig:
+    """Static description of a hybrid sparsity pattern.
+
+    Attributes
+    ----------
+    n, m:
+        Fine-grained N:M ratio applied inside retained blocks.
+    block_size:
+        Side length of the square blocks removed by coarse-grained pruning.
+    """
+
+    n: int = 2
+    m: int = 4
+    block_size: int = 16
+
+    def __post_init__(self) -> None:
+        NMConfig(self.n, self.m)  # validates n, m
+        if self.block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {self.block_size}")
+
+    @property
+    def nm(self) -> NMConfig:
+        return NMConfig(self.n, self.m)
+
+    def average_sparsity(self, block_keep_ratio: float) -> float:
+        """Average sparsity of the combined pattern at a given block keep ratio."""
+        return hybrid_average_sparsity(self.n, self.m, block_keep_ratio)
+
+    def __str__(self) -> str:
+        return f"{self.n}:{self.m}+B{self.block_size}"
+
+
+def hybrid_average_sparsity(n: int, m: int, block_keep_ratio: float) -> float:
+    """Paper formula: ``1 - (K'/K) * (N/M)``."""
+    if not 0.0 <= block_keep_ratio <= 1.0:
+        raise ValueError(f"block_keep_ratio must be in [0, 1], got {block_keep_ratio}")
+    return 1.0 - block_keep_ratio * (n / m)
+
+
+def keep_blocks_for_target_sparsity(
+    target_sparsity: float, n: int, m: int, block_cols: int
+) -> int:
+    """Number of blocks per row to keep so the hybrid sparsity reaches ``target_sparsity``.
+
+    Solves ``1 - (k / block_cols) * (N/M) >= target`` for the largest integer
+    ``k`` (clamped to ``[1, block_cols]``) — the block budget used by the
+    iterative CRISP schedule.  Raises if the target is below the sparsity the
+    N:M pattern alone provides (in that regime no blocks need pruning).
+    """
+    if not 0.0 <= target_sparsity < 1.0:
+        raise ValueError(f"target_sparsity must be in [0, 1), got {target_sparsity}")
+    nm_density = n / m
+    keep_ratio_needed = (1.0 - target_sparsity) / nm_density
+    keep_ratio_needed = min(1.0, keep_ratio_needed)
+    k = int(np.floor(keep_ratio_needed * block_cols + 1e-9))
+    return int(np.clip(k, 1, block_cols))
+
+
+@dataclass
+class HybridMaskInfo:
+    """Diagnostics returned alongside a hybrid mask."""
+
+    config: HybridSparsityConfig
+    keep_blocks_per_row: int
+    block_cols: int
+    achieved_sparsity: float
+    nm_compliant: bool
+    uniform_rows: bool
+
+    @property
+    def block_keep_ratio(self) -> float:
+        return self.keep_blocks_per_row / self.block_cols
+
+
+def hybrid_mask(
+    score_matrix: np.ndarray,
+    config: HybridSparsityConfig,
+    target_sparsity: Optional[float] = None,
+    keep_blocks_per_row: Optional[int] = None,
+) -> Tuple[np.ndarray, HybridMaskInfo]:
+    """Build a hybrid N:M + uniform-block mask from a saliency matrix.
+
+    Exactly one of ``target_sparsity`` / ``keep_blocks_per_row`` must be
+    provided.  The N:M mask is computed first (on the raw scores), then block
+    scores are aggregated over the *surviving* elements and whole blocks are
+    removed uniformly per row — the same ordering as Algorithm 1 (steps 3 and
+    4 of Fig. 5).
+
+    Returns
+    -------
+    (mask, info):
+        The element-wise binary mask and a :class:`HybridMaskInfo` record.
+    """
+    scores = np.abs(np.asarray(score_matrix, dtype=np.float64))
+    if scores.ndim != 2:
+        raise ValueError(f"Expected a 2-D score matrix, got shape {scores.shape}")
+
+    grid = BlockGrid.for_matrix(scores, config.block_size)
+    if (target_sparsity is None) == (keep_blocks_per_row is None):
+        raise ValueError("Provide exactly one of target_sparsity or keep_blocks_per_row")
+    if keep_blocks_per_row is None:
+        keep_blocks_per_row = keep_blocks_for_target_sparsity(
+            target_sparsity, config.n, config.m, grid.block_cols
+        )
+    if not 1 <= keep_blocks_per_row <= grid.block_cols:
+        raise ValueError(
+            f"keep_blocks_per_row must be in [1, {grid.block_cols}], got {keep_blocks_per_row}"
+        )
+
+    fine_mask = nm_mask(scores, config.n, config.m, axis=0)
+    surviving_scores = scores * fine_mask
+    coarse_mask = uniform_block_mask(surviving_scores, config.block_size, keep_blocks_per_row)
+    mask = combine_masks(fine_mask, coarse_mask)
+
+    info = HybridMaskInfo(
+        config=config,
+        keep_blocks_per_row=keep_blocks_per_row,
+        block_cols=grid.block_cols,
+        achieved_sparsity=1.0 - density(mask),
+        nm_compliant=check_nm_compliance(mask, config.n, config.m, axis=0),
+        uniform_rows=check_block_uniformity(mask, config.block_size),
+    )
+    return mask, info

@@ -1,0 +1,134 @@
+"""Fine-grained N:M structured sparsity.
+
+An N:M mask keeps at most ``N`` non-zero values in every group of ``M``
+consecutive elements along the GEMM reduction dimension.  In the reshaped
+``(HWR, S)`` weight layout used throughout this repository the reduction
+dimension is the *row* axis, so groups are formed by ``M`` consecutive rows
+within each output-channel column — the layout NVIDIA's 2:4 sparse tensor
+cores accelerate and that CRISP generalises to 1:4 and 3:4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .masks import validate_mask
+
+__all__ = ["NMConfig", "nm_mask", "apply_nm", "nm_theoretical_sparsity", "SUPPORTED_NM_PATTERNS"]
+
+#: N:M patterns supported by the CRISP-STC accelerator model.
+SUPPORTED_NM_PATTERNS: Tuple[Tuple[int, int], ...] = ((1, 4), (2, 4), (3, 4), (4, 4), (2, 8), (4, 8))
+
+
+@dataclass(frozen=True)
+class NMConfig:
+    """An N:M sparsity configuration.
+
+    ``n`` non-zero values are kept out of every ``m`` consecutive values.
+    ``n == m`` denotes the dense pattern (no fine-grained pruning).
+    """
+
+    n: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0:
+            raise ValueError(f"N and M must be positive, got {self.n}:{self.m}")
+        if self.n > self.m:
+            raise ValueError(f"N must not exceed M, got {self.n}:{self.m}")
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of weights removed by the fine-grained pattern alone."""
+        return 1.0 - self.n / self.m
+
+    @property
+    def density(self) -> float:
+        return self.n / self.m
+
+    @property
+    def is_dense(self) -> bool:
+        return self.n == self.m
+
+    def __str__(self) -> str:
+        return f"{self.n}:{self.m}"
+
+
+def nm_theoretical_sparsity(n: int, m: int) -> float:
+    """Sparsity achieved by an exact N:M pattern: ``1 - N/M``."""
+    return NMConfig(n, m).sparsity
+
+
+def nm_mask(scores: np.ndarray, n: int, m: int, axis: int = 0) -> np.ndarray:
+    """Build an N:M mask keeping the top-``n`` scores per group of ``m``.
+
+    Parameters
+    ----------
+    scores:
+        2-D saliency matrix (higher = more important), same shape as the
+        reshaped weight matrix.
+    n, m:
+        The N:M ratio.
+    axis:
+        Axis along which consecutive elements are grouped (0 = rows, the
+        reduction dimension of the reshaped layout).
+
+    Returns
+    -------
+    np.ndarray
+        Binary mask of the same shape as ``scores``.  Trailing elements of a
+        partial final group are kept proportionally (top-``ceil(n * g / m)``
+        of a group of size ``g``).
+    """
+    config = NMConfig(n, m)
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"Expected 2-D scores, got shape {scores.shape}")
+    if config.is_dense:
+        return np.ones_like(scores)
+
+    transposed = axis == 1
+    if transposed:
+        scores = scores.T
+
+    rows, cols = scores.shape
+    mask = np.zeros_like(scores)
+
+    full_rows = (rows // m) * m
+    if full_rows > 0:
+        grouped = scores[:full_rows].reshape(full_rows // m, m, cols)
+        # Rank within each group: keep the n largest scores.
+        order = np.argsort(grouped, axis=1)
+        keep = order[:, m - n :, :]
+        group_mask = np.zeros_like(grouped)
+        np.put_along_axis(group_mask, keep, 1.0, axis=1)
+        mask[:full_rows] = group_mask.reshape(full_rows, cols)
+
+    # Partial trailing group (rows not divisible by m).
+    remainder = rows - full_rows
+    if remainder > 0:
+        tail = scores[full_rows:]
+        keep_count = max(1, int(np.ceil(n * remainder / m)))
+        keep_count = min(keep_count, remainder)
+        order = np.argsort(tail, axis=0)
+        keep = order[remainder - keep_count :, :]
+        tail_mask = np.zeros_like(tail)
+        np.put_along_axis(tail_mask, keep, 1.0, axis=0)
+        mask[full_rows:] = tail_mask
+
+    if transposed:
+        mask = mask.T
+    return mask
+
+
+def apply_nm(weight: np.ndarray, n: int, m: int, axis: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Magnitude-based N:M pruning of a weight matrix.
+
+    Returns ``(pruned_weight, mask)``.
+    """
+    mask = nm_mask(np.abs(np.asarray(weight, dtype=np.float64)), n, m, axis=axis)
+    mask = validate_mask(mask)
+    return weight * mask, mask

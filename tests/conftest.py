@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, make_dataset, sample_user_profile, build_user_loaders
+from repro.nn.models import mobilenet_tiny, resnet_tiny, vgg_tiny
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """The smallest synthetic dataset preset."""
+    return make_dataset("synthetic-tiny", seed=0)
+
+
+@pytest.fixture
+def tiny_loaders(tiny_dataset):
+    """Train/val loaders over a 4-class user profile of the tiny dataset."""
+    profile = sample_user_profile(tiny_dataset, 4, seed=1)
+    return build_user_loaders(tiny_dataset, profile, batch_size=16, seed=0)
+
+
+@pytest.fixture
+def tiny_resnet(tiny_dataset):
+    """A small bottleneck ResNet sized for the tiny dataset (4-class head)."""
+    return resnet_tiny(num_classes=4, input_size=tiny_dataset.image_size, seed=0)
+
+
+@pytest.fixture
+def tiny_vgg(tiny_dataset):
+    return vgg_tiny(num_classes=4, input_size=tiny_dataset.image_size, seed=0)
+
+
+@pytest.fixture
+def tiny_mobilenet(tiny_dataset):
+    return mobilenet_tiny(num_classes=4, input_size=tiny_dataset.image_size, seed=0)
+
+
+@pytest.fixture
+def small_batch(tiny_loaders):
+    """One (images, labels) batch from the tiny training loader."""
+    train_loader, _ = tiny_loaders
+    return next(iter(train_loader))
+
+
+def numerical_gradient(fn, x, eps=1e-5):
+    """Central-difference numerical gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn()
+        flat[i] = original - eps
+        minus = fn()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+@pytest.fixture
+def gradcheck():
+    """Expose the numerical-gradient helper to tests."""
+    return numerical_gradient

@@ -1,0 +1,200 @@
+"""Tests for the baseline pruning methods."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models.base import prunable_layers
+from repro.nn.layers import Linear
+from repro.pruning import model_sparsity
+from repro.pruning.baselines import (
+    block_prune,
+    channel_prune,
+    dense_finetune,
+    nm_prune,
+    unstructured_prune,
+)
+from repro.sparsity.masks import check_nm_compliance
+
+
+class TestDenseFinetune:
+    def test_reports_dense_statistics(self, tiny_resnet, tiny_loaders):
+        train_loader, val_loader = tiny_loaders
+        result = dense_finetune(tiny_resnet, train_loader, val_loader, epochs=2)
+        assert result.method == "dense"
+        assert result.achieved_sparsity == pytest.approx(0.0, abs=1e-6)
+        assert result.flops_ratio == pytest.approx(1.0)
+        assert 0.0 <= result.final_accuracy <= 1.0
+        assert 0.0 <= result.baseline_accuracy <= 1.0
+        assert result.accuracy_drop == pytest.approx(
+            result.baseline_accuracy - result.final_accuracy
+        )
+
+    def test_no_val_loader(self, tiny_resnet, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        result = dense_finetune(tiny_resnet, train_loader, epochs=1)
+        assert result.final_accuracy is None
+
+
+class TestNMPrune:
+    @pytest.mark.parametrize("n,m", [(1, 4), (2, 4), (3, 4)])
+    def test_reaches_exact_nm_sparsity(self, n, m, tiny_resnet, tiny_loaders):
+        train_loader, val_loader = tiny_loaders
+        result = nm_prune(tiny_resnet, n, m, train_loader, val_loader, finetune_epochs=1)
+        assert result.achieved_sparsity == pytest.approx(1 - n / m, abs=0.02)
+        assert result.method == f"nm-{n}:{m}"
+
+    def test_masks_nm_compliant(self, tiny_vgg, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        nm_prune(tiny_vgg, 2, 4, train_loader, finetune_epochs=0)
+        for name, layer in prunable_layers(tiny_vgg).items():
+            c_out = layer.reshaped_weight().shape[1]
+            mask2d = layer.weight.mask.reshape(c_out, -1).T
+            assert check_nm_compliance(mask2d, 2, 4, axis=0), name
+
+    def test_without_data_uses_magnitude(self, tiny_resnet):
+        result = nm_prune(tiny_resnet, 2, 4, class_aware=False, finetune_epochs=0)
+        assert result.achieved_sparsity == pytest.approx(0.5, abs=0.02)
+        assert result.final_accuracy is None
+
+
+class TestBlockPrune:
+    def test_reaches_target(self, tiny_resnet, tiny_loaders):
+        train_loader, val_loader = tiny_loaders
+        result = block_prune(
+            tiny_resnet, target_sparsity=0.75, block_size=8,
+            train_loader=train_loader, val_loader=val_loader, finetune_epochs=1,
+        )
+        assert result.achieved_sparsity == pytest.approx(0.75, abs=0.08)
+        assert result.method == "block-8"
+
+    def test_invalid_target(self, tiny_resnet):
+        with pytest.raises(ValueError):
+            block_prune(tiny_resnet, target_sparsity=1.2)
+
+    def test_removes_whole_blocks(self, tiny_vgg, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        block_size = 8
+        block_prune(
+            tiny_vgg, target_sparsity=0.5, block_size=block_size,
+            train_loader=train_loader, finetune_epochs=0,
+        )
+        from repro.sparsity.block import partition_into_blocks
+
+        for name, layer in prunable_layers(tiny_vgg).items():
+            c_out = layer.reshaped_weight().shape[1]
+            mask2d = layer.weight.mask.reshape(c_out, -1).T
+            tiles, grid = partition_into_blocks(mask2d, block_size)
+            per_block = tiles.reshape(grid.block_rows, grid.block_cols, -1).mean(axis=2)
+            # Every block is either fully kept or fully pruned (ignoring padding edges).
+            interior = per_block[: mask2d.shape[0] // block_size, : mask2d.shape[1] // block_size]
+            assert np.all((interior == 0.0) | (interior == 1.0)), name
+
+
+class TestUnstructuredPrune:
+    def test_reaches_target(self, tiny_resnet, tiny_loaders):
+        train_loader, val_loader = tiny_loaders
+        result = unstructured_prune(
+            tiny_resnet, target_sparsity=0.9, train_loader=train_loader,
+            val_loader=val_loader, finetune_epochs=1,
+        )
+        assert result.achieved_sparsity == pytest.approx(0.9, abs=0.03)
+        assert result.method == "unstructured"
+
+    def test_keeps_most_salient_weights(self, tiny_resnet, tiny_loaders):
+        """Unstructured pruning at matched sparsity should retain accuracy at
+        least as well as random expectation (sanity, not a strong claim)."""
+        train_loader, val_loader = tiny_loaders
+        result = unstructured_prune(
+            tiny_resnet, target_sparsity=0.5, train_loader=train_loader,
+            val_loader=val_loader, finetune_epochs=1,
+        )
+        assert result.final_accuracy >= 0.2
+
+    def test_every_output_column_keeps_a_weight(self, tiny_vgg, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        unstructured_prune(
+            tiny_vgg, target_sparsity=0.95, train_loader=train_loader, finetune_epochs=0
+        )
+        for name, layer in prunable_layers(tiny_vgg).items():
+            c_out = layer.reshaped_weight().shape[1]
+            mask2d = layer.weight.mask.reshape(c_out, -1).T
+            assert np.all(mask2d.sum(axis=0) >= 1), name
+
+    def test_invalid_target(self, tiny_resnet):
+        with pytest.raises(ValueError):
+            unstructured_prune(tiny_resnet, target_sparsity=-0.1)
+
+
+class TestChannelPrune:
+    def test_removes_whole_channels(self, tiny_vgg, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        channel_prune(tiny_vgg, target_sparsity=0.5, train_loader=train_loader, finetune_epochs=0)
+        for name, layer in prunable_layers(tiny_vgg).items():
+            if isinstance(layer, Linear) and layer.out_features == tiny_vgg.num_classes:
+                continue
+            c_out = layer.reshaped_weight().shape[1]
+            mask2d = layer.weight.mask.reshape(c_out, -1).T
+            column_density = mask2d.mean(axis=0)
+            assert np.all((column_density == 0.0) | (column_density == 1.0)), name
+
+    def test_classifier_not_pruned_by_default(self, tiny_resnet, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        channel_prune(tiny_resnet, target_sparsity=0.5, train_loader=train_loader, finetune_epochs=0)
+        classifier = [
+            l for l in prunable_layers(tiny_resnet).values()
+            if isinstance(l, Linear) and l.out_features == tiny_resnet.num_classes
+        ]
+        assert classifier and classifier[0].weight.mask is None
+
+    def test_target_sparsity_approximate(self, tiny_vgg, tiny_loaders):
+        train_loader, val_loader = tiny_loaders
+        result = channel_prune(
+            tiny_vgg, target_sparsity=0.5, train_loader=train_loader,
+            val_loader=val_loader, finetune_epochs=1,
+        )
+        assert result.achieved_sparsity == pytest.approx(0.5, abs=0.15)
+        assert result.flops_ratio < 1.0
+
+    def test_min_channels_survive(self, tiny_vgg, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        channel_prune(
+            tiny_vgg, target_sparsity=0.99, train_loader=train_loader,
+            finetune_epochs=0, min_channels=2,
+        )
+        for name, layer in prunable_layers(tiny_vgg).items():
+            if layer.weight.mask is None:
+                continue
+            c_out = layer.reshaped_weight().shape[1]
+            mask2d = layer.weight.mask.reshape(c_out, -1).T
+            kept_channels = (mask2d.sum(axis=0) > 0).sum()
+            assert kept_channels >= 2, name
+
+    def test_invalid_target(self, tiny_vgg):
+        with pytest.raises(ValueError):
+            channel_prune(tiny_vgg, target_sparsity=1.0)
+
+
+class TestCrossMethodComparison:
+    def test_crisp_matches_or_beats_block_at_high_sparsity(self, tiny_loaders, tiny_dataset):
+        """The paper's central accuracy claim (Fig. 3), at tiny scale: at a high
+        sparsity target, CRISP's hybrid pattern should not do worse than pure
+        block pruning (allowing a small tolerance for run-to-run noise)."""
+        from repro.nn.models import resnet_tiny
+        from repro.pruning import CRISPConfig, CRISPPruner
+
+        train_loader, val_loader = tiny_loaders
+
+        block_model = resnet_tiny(num_classes=4, input_size=tiny_dataset.image_size, seed=0)
+        block_result = block_prune(
+            block_model, target_sparsity=0.75, block_size=8,
+            train_loader=train_loader, val_loader=val_loader, finetune_epochs=1,
+        )
+
+        crisp_model = resnet_tiny(num_classes=4, input_size=tiny_dataset.image_size, seed=0)
+        crisp_result = CRISPPruner(
+            crisp_model,
+            CRISPConfig(n=2, m=4, block_size=8, target_sparsity=0.75, iterations=2,
+                        finetune_epochs=1, saliency_batches=2),
+        ).prune(train_loader, val_loader)
+
+        assert crisp_result.final_accuracy >= block_result.final_accuracy - 0.15

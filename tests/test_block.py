@@ -1,0 +1,162 @@
+"""Tests for coarse-grained block sparsity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparsity.block import (
+    BlockGrid,
+    block_mask_from_keep,
+    block_scores,
+    partition_into_blocks,
+    retained_blocks_per_row,
+    topk_block_mask,
+    uniform_block_mask,
+)
+from repro.sparsity.masks import check_block_uniformity, density
+
+
+class TestBlockGrid:
+    def test_exact_division(self):
+        grid = BlockGrid(16, 32, 8)
+        assert grid.block_rows == 2 and grid.block_cols == 4
+        assert grid.num_blocks == 8
+        assert grid.padded_shape == (16, 32)
+
+    def test_padding_needed(self):
+        grid = BlockGrid(10, 10, 4)
+        assert grid.block_rows == 3 and grid.block_cols == 3
+        assert grid.padded_shape == (12, 12)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            BlockGrid(0, 4, 2)
+        with pytest.raises(ValueError):
+            BlockGrid(4, 4, 0)
+
+    def test_for_matrix(self, rng):
+        grid = BlockGrid.for_matrix(rng.random((7, 9)), 4)
+        assert (grid.rows, grid.cols) == (7, 9)
+
+    def test_for_matrix_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            BlockGrid.for_matrix(rng.random(5), 2)
+
+
+class TestPartition:
+    def test_tiles_shape_and_content(self):
+        matrix = np.arange(16).reshape(4, 4).astype(float)
+        tiles, grid = partition_into_blocks(matrix, 2)
+        assert tiles.shape == (2, 2, 2, 2)
+        np.testing.assert_allclose(tiles[0, 0], [[0, 1], [4, 5]])
+        np.testing.assert_allclose(tiles[1, 1], [[10, 11], [14, 15]])
+
+    def test_padding(self):
+        matrix = np.ones((3, 5))
+        tiles, grid = partition_into_blocks(matrix, 4)
+        assert tiles.shape == (1, 2, 4, 4)
+        assert tiles[0, 0].sum() == 3 * 4  # 3 real rows, 4 real cols
+        assert tiles[0, 1].sum() == 3 * 1
+
+
+class TestBlockScores:
+    def test_sums_absolute_values(self):
+        matrix = np.array([[1.0, -2.0], [3.0, 4.0]])
+        scores, grid = block_scores(matrix, 2)
+        assert scores.shape == (1, 1)
+        assert scores[0, 0] == pytest.approx(10.0)
+
+    def test_per_block_separation(self):
+        matrix = np.zeros((4, 4))
+        matrix[:2, :2] = 1.0
+        matrix[2:, 2:] = 5.0
+        scores, _ = block_scores(matrix, 2)
+        np.testing.assert_allclose(scores, [[4.0, 0.0], [0.0, 20.0]])
+
+
+class TestBlockMaskFromKeep:
+    def test_expansion(self):
+        grid = BlockGrid(4, 4, 2)
+        keep = np.array([[1.0, 0.0], [0.0, 1.0]])
+        mask = block_mask_from_keep(keep, grid)
+        np.testing.assert_allclose(mask[:2, :2], 1.0)
+        np.testing.assert_allclose(mask[:2, 2:], 0.0)
+
+    def test_crops_padding(self):
+        grid = BlockGrid(3, 5, 4)
+        keep = np.ones((1, 2))
+        mask = block_mask_from_keep(keep, grid)
+        assert mask.shape == (3, 5)
+
+    def test_wrong_shape_raises(self):
+        grid = BlockGrid(4, 4, 2)
+        with pytest.raises(ValueError):
+            block_mask_from_keep(np.ones((3, 3)), grid)
+
+
+class TestTopkBlockMask:
+    def test_keep_ratio(self, rng):
+        scores = rng.random((16, 16))
+        mask = topk_block_mask(scores, 4, keep_ratio=0.5)
+        assert density(mask) == pytest.approx(0.5)
+
+    def test_keeps_highest_scoring_blocks(self):
+        scores = np.zeros((4, 4))
+        scores[:2, :2] = 10.0
+        mask = topk_block_mask(scores, 2, keep_ratio=0.25)
+        np.testing.assert_allclose(mask[:2, :2], 1.0)
+        assert mask.sum() == 4
+
+    def test_invalid_ratio(self, rng):
+        with pytest.raises(ValueError):
+            topk_block_mask(rng.random((4, 4)), 2, keep_ratio=0.0)
+
+    def test_not_necessarily_uniform(self):
+        scores = np.zeros((4, 8))
+        scores[:2] = [[9, 9, 1, 1, 9, 9, 1, 1], [9, 9, 1, 1, 9, 9, 1, 1]]
+        mask = topk_block_mask(scores, 2, keep_ratio=0.25)
+        # All kept blocks land in the first block-row -> non-uniform.
+        assert not check_block_uniformity(mask, 2)
+
+
+class TestUniformBlockMask:
+    def test_keeps_k_blocks_per_row(self, rng):
+        scores = rng.random((8, 16))
+        mask = uniform_block_mask(scores, 4, keep_blocks_per_row=2)
+        assert check_block_uniformity(mask, 4)
+        assert retained_blocks_per_row(mask, 4) == [2, 2]
+        assert density(mask) == pytest.approx(0.5)
+
+    def test_selects_highest_scoring_blocks_per_row(self):
+        scores = np.zeros((2, 8))
+        scores[:, 2:4] = 5.0  # second block of the single block-row
+        mask = uniform_block_mask(scores, 2, keep_blocks_per_row=1)
+        np.testing.assert_allclose(mask[:, 2:4], 1.0)
+        assert mask.sum() == 4
+
+    def test_invalid_keep_count(self, rng):
+        scores = rng.random((4, 8))
+        with pytest.raises(ValueError):
+            uniform_block_mask(scores, 4, keep_blocks_per_row=0)
+        with pytest.raises(ValueError):
+            uniform_block_mask(scores, 4, keep_blocks_per_row=3)
+
+    @given(st.integers(1, 4), st.integers(1, 6), st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_property_uniform_rows(self, block_rows, block_cols, block_size):
+        rng = np.random.default_rng(block_rows * 100 + block_cols * 10 + block_size)
+        scores = rng.random((block_rows * block_size, block_cols * block_size))
+        keep = rng.integers(1, block_cols + 1)
+        mask = uniform_block_mask(scores, block_size, keep_blocks_per_row=int(keep))
+        assert check_block_uniformity(mask, block_size)
+        assert density(mask) == pytest.approx(keep / block_cols)
+
+
+class TestRetainedBlocksPerRow:
+    def test_counts(self):
+        mask = np.zeros((4, 8))
+        mask[:2, :2] = 1.0
+        mask[2:, 2:4] = 1.0
+        mask[2:, 6:] = 1.0
+        assert retained_blocks_per_row(mask, 2) == [1, 2]

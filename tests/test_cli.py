@@ -1,0 +1,42 @@
+"""Tests for the experiment command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, main, run_experiment
+
+
+class TestCLI:
+    def test_all_figures_registered(self):
+        assert set(EXPERIMENTS) == {"fig1", "fig2", "fig3", "fig4", "fig7", "fig8", "headline"}
+
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_arguments_shows_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_run_experiment_unknown_name(self):
+        with pytest.raises(KeyError):
+            run_experiment("table3")
+
+    def test_run_fig4_via_cli(self, capsys):
+        """fig4 is pure format accounting (no training), so it is cheap enough
+        to exercise the full CLI path end to end."""
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "csr" in out and "ellpack" in out and "crisp" in out
+        assert "metadata overhead" in out
+
+    def test_run_fig8_via_cli(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "crisp-stc-b64" in out
+        assert "speedup_vs_dense" in out

@@ -1,0 +1,168 @@
+"""Tests for the CRISP pruning framework (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models.base import prunable_layers
+from repro.pruning import CRISPConfig, CRISPPruner, crisp_prune, model_sparsity
+from repro.sparsity.masks import check_block_uniformity, check_nm_compliance
+
+
+TINY_CRISP = dict(n=2, m=4, block_size=8, iterations=2, finetune_epochs=1, saliency_batches=2)
+
+
+class TestCRISPConfig:
+    def test_defaults_valid(self):
+        cfg = CRISPConfig()
+        assert cfg.nm_base_sparsity == pytest.approx(0.5)
+        assert cfg.hybrid.block_size == cfg.block_size
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            CRISPConfig(target_sparsity=1.0)
+
+    def test_invalid_pattern(self):
+        with pytest.raises(ValueError):
+            CRISPConfig(n=5, m=4)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            CRISPConfig(iterations=0)
+
+    def test_invalid_schedule(self):
+        with pytest.raises(ValueError):
+            CRISPConfig(schedule="exponential")
+
+    def test_invalid_min_keep(self):
+        with pytest.raises(ValueError):
+            CRISPConfig(min_keep_blocks_per_row=0)
+
+    def test_build_schedule_linear(self):
+        cfg = CRISPConfig(n=2, m=4, target_sparsity=0.9, iterations=4)
+        schedule = cfg.build_schedule()
+        assert schedule.num_iterations == 4
+        assert schedule.final_target == pytest.approx(0.9)
+        assert schedule[0] >= 0.5  # starts at the N:M floor
+
+    def test_build_schedule_one_shot(self):
+        cfg = CRISPConfig(schedule="one_shot", target_sparsity=0.8)
+        assert cfg.build_schedule().num_iterations == 1
+
+    def test_target_below_nm_floor_allowed(self):
+        cfg = CRISPConfig(n=2, m=4, target_sparsity=0.3, iterations=2)
+        schedule = cfg.build_schedule()
+        assert schedule.final_target == pytest.approx(0.3)
+
+
+class TestCRISPPruner:
+    def test_requires_prunable_layers(self):
+        from repro.nn.module import Module
+
+        class Empty(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(ValueError):
+            CRISPPruner(Empty())
+
+    def test_end_to_end_reaches_target(self, tiny_resnet, tiny_loaders):
+        train_loader, val_loader = tiny_loaders
+        config = CRISPConfig(target_sparsity=0.8, **TINY_CRISP)
+        result = CRISPPruner(tiny_resnet, config).prune(train_loader, val_loader)
+
+        assert result.iterations_run == config.iterations
+        assert result.final_sparsity == pytest.approx(0.8, abs=0.05)
+        assert result.baseline_accuracy is not None
+        assert result.final_accuracy is not None
+        assert 0.0 <= result.final_accuracy <= 1.0
+        assert result.accuracy_drop is not None
+
+    def test_masks_satisfy_structural_invariants(self, tiny_resnet, tiny_loaders):
+        train_loader, val_loader = tiny_loaders
+        config = CRISPConfig(target_sparsity=0.8, **TINY_CRISP)
+        CRISPPruner(tiny_resnet, config).prune(train_loader, val_loader)
+
+        for name, layer in prunable_layers(tiny_resnet).items():
+            assert layer.weight.mask is not None, f"{name} has no mask"
+            c_out = layer.reshaped_weight().shape[1]
+            mask2d = layer.weight.mask.reshape(c_out, -1).T
+            assert check_nm_compliance(mask2d, config.n, config.m, axis=0), name
+            assert check_block_uniformity(mask2d, config.block_size), name
+
+    def test_history_records_progression(self, tiny_resnet, tiny_loaders):
+        train_loader, val_loader = tiny_loaders
+        config = CRISPConfig(target_sparsity=0.85, **TINY_CRISP)
+        result = CRISPPruner(tiny_resnet, config).prune(train_loader, val_loader)
+
+        targets = [rec.target_sparsity for rec in result.history]
+        achieved = [rec.achieved_sparsity for rec in result.history]
+        assert targets == sorted(targets)
+        assert achieved[-1] >= achieved[0] - 1e-9
+        for record in result.history:
+            assert set(record.layer_sparsity) == set(prunable_layers(tiny_resnet))
+            assert record.val_accuracy is not None
+
+    def test_layer_sparsity_nonuniform(self, tiny_resnet, tiny_loaders):
+        """The global rank-position selection should allocate different
+        sparsities to different layers (the Fig. 2 behaviour)."""
+        train_loader, val_loader = tiny_loaders
+        config = CRISPConfig(target_sparsity=0.85, **TINY_CRISP)
+        result = CRISPPruner(tiny_resnet, config).prune(train_loader, val_loader)
+        values = np.array(list(result.history[-1].layer_sparsity.values()))
+        assert values.max() - values.min() > 0.05
+
+    def test_every_row_keeps_at_least_one_block(self, tiny_resnet, tiny_loaders):
+        train_loader, val_loader = tiny_loaders
+        config = CRISPConfig(target_sparsity=0.9, **TINY_CRISP)
+        CRISPPruner(tiny_resnet, config).prune(train_loader, val_loader)
+        from repro.sparsity.block import retained_blocks_per_row
+
+        for name, layer in prunable_layers(tiny_resnet).items():
+            c_out = layer.reshaped_weight().shape[1]
+            mask2d = layer.weight.mask.reshape(c_out, -1).T
+            counts = retained_blocks_per_row(mask2d, config.block_size)
+            assert min(counts) >= 1, name
+
+    def test_without_val_loader(self, tiny_resnet, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        config = CRISPConfig(target_sparsity=0.75, **TINY_CRISP)
+        result = CRISPPruner(tiny_resnet, config).prune(train_loader)
+        assert result.final_accuracy is None
+        assert result.baseline_accuracy is None
+        assert result.final_sparsity > 0.6
+
+    def test_without_ste(self, tiny_resnet, tiny_loaders):
+        train_loader, val_loader = tiny_loaders
+        config = CRISPConfig(target_sparsity=0.75, use_ste=False, **TINY_CRISP)
+        result = CRISPPruner(tiny_resnet, config).prune(train_loader, val_loader)
+        assert result.final_sparsity == pytest.approx(0.75, abs=0.06)
+
+    def test_convenience_wrapper(self, tiny_vgg, tiny_loaders):
+        train_loader, val_loader = tiny_loaders
+        config = CRISPConfig(target_sparsity=0.75, **TINY_CRISP)
+        result = crisp_prune(tiny_vgg, train_loader, val_loader, config)
+        assert result.final_sparsity == pytest.approx(0.75, abs=0.06)
+
+    def test_one_four_pattern_reaches_higher_sparsity(self, tiny_resnet, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        config = CRISPConfig(
+            n=1, m=4, block_size=8, target_sparsity=0.9, iterations=2,
+            finetune_epochs=1, saliency_batches=2,
+        )
+        result = CRISPPruner(tiny_resnet, config).prune(train_loader)
+        assert result.final_sparsity >= 0.85
+
+    def test_masks_frozen_into_weights_after_prune(self, tiny_resnet, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        config = CRISPConfig(target_sparsity=0.8, **TINY_CRISP)
+        CRISPPruner(tiny_resnet, config).prune(train_loader)
+        for layer in prunable_layers(tiny_resnet).values():
+            pruned = layer.weight.mask == 0
+            np.testing.assert_allclose(layer.weight.data[pruned], 0.0)
+
+    def test_mobilenet_pruning(self, tiny_mobilenet, tiny_loaders):
+        train_loader, val_loader = tiny_loaders
+        config = CRISPConfig(target_sparsity=0.75, **TINY_CRISP)
+        result = CRISPPruner(tiny_mobilenet, config).prune(train_loader, val_loader)
+        assert result.final_sparsity == pytest.approx(0.75, abs=0.08)
+        assert model_sparsity(tiny_mobilenet) == pytest.approx(result.final_sparsity)

@@ -1,0 +1,178 @@
+"""Tests for the synthetic dataset substrate and loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_PRESETS,
+    DataLoader,
+    DatasetConfig,
+    SyntheticImageDataset,
+    build_user_loaders,
+    make_dataset,
+    sample_user_profile,
+)
+
+
+class TestDatasetConstruction:
+    def test_presets_exist(self):
+        assert {"synthetic-imagenet", "synthetic-cifar100", "synthetic-tiny"} <= set(DATASET_PRESETS)
+
+    def test_make_dataset_with_overrides(self):
+        ds = make_dataset("synthetic-tiny", num_classes=5, image_size=10)
+        assert ds.num_classes == 5
+        assert ds.image_size == 10
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            make_dataset("imagenet-22k")
+
+    def test_template_shapes_and_determinism(self, tiny_dataset):
+        t1 = tiny_dataset.class_template(0)
+        t2 = tiny_dataset.class_template(0)
+        assert t1.shape == (3, tiny_dataset.image_size, tiny_dataset.image_size)
+        np.testing.assert_allclose(t1, t2)
+
+    def test_templates_differ_between_classes(self, tiny_dataset):
+        t0 = tiny_dataset.class_template(0)
+        t1 = tiny_dataset.class_template(1)
+        assert not np.allclose(t0, t1)
+
+    def test_templates_differ_between_seeds(self):
+        a = make_dataset("synthetic-tiny", seed=0).class_template(0)
+        b = make_dataset("synthetic-tiny", seed=1).class_template(0)
+        assert not np.allclose(a, b)
+
+    def test_invalid_class_raises(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.class_template(tiny_dataset.num_classes)
+
+
+class TestSplits:
+    def test_split_shapes(self, tiny_dataset):
+        x, y = tiny_dataset.split("train")
+        cfg = tiny_dataset.config
+        assert x.shape[0] == cfg.num_classes * cfg.samples_per_class_train
+        assert x.shape[1:] == (3, cfg.image_size, cfg.image_size)
+        assert y.shape == (x.shape[0],)
+
+    def test_split_deterministic(self, tiny_dataset):
+        x1, y1 = tiny_dataset.split("train")
+        x2, y2 = tiny_dataset.split("train")
+        np.testing.assert_allclose(x1, x2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_train_val_differ(self, tiny_dataset):
+        train_x, _ = tiny_dataset.split("train", samples_per_class=6)
+        val_x, _ = tiny_dataset.split("val", samples_per_class=6)
+        assert not np.allclose(train_x, val_x)
+
+    def test_class_subset_with_remap(self, tiny_dataset):
+        x, y = tiny_dataset.split("train", classes=[2, 5])
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_class_subset_without_remap(self, tiny_dataset):
+        _, y = tiny_dataset.split("train", classes=[2, 5], remap_labels=False)
+        assert set(np.unique(y)) == {2, 5}
+
+    def test_duplicate_classes_raise(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.split("train", classes=[1, 1])
+
+    def test_invalid_split_raises(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.split("test")
+
+    def test_classes_are_learnable(self, tiny_dataset):
+        """A nearest-template classifier should beat chance comfortably."""
+        x, y = tiny_dataset.split("val", classes=[0, 1, 2, 3])
+        templates = np.stack([tiny_dataset.class_template(c) for c in [0, 1, 2, 3]])
+        distances = ((x[:, None] - templates[None]) ** 2).sum(axis=(2, 3, 4))
+        preds = distances.argmin(axis=1)
+        assert (preds == y).mean() > 0.5
+
+    def test_user_preferred_split(self, tiny_dataset):
+        x, y, selected = tiny_dataset.user_preferred_split(3, split="val")
+        assert len(selected) == 3
+        assert set(np.unique(y)) <= {0, 1, 2}
+
+    def test_user_preferred_split_invalid(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.user_preferred_split(0)
+
+
+class TestDataLoader:
+    def test_batch_shapes(self, rng):
+        x = rng.normal(size=(25, 3, 4, 4))
+        y = rng.integers(0, 3, size=25)
+        loader = DataLoader(x, y, batch_size=10)
+        batches = list(loader)
+        assert len(batches) == 3
+        assert batches[0][0].shape == (10, 3, 4, 4)
+        assert batches[-1][0].shape == (5, 3, 4, 4)
+
+    def test_drop_last(self, rng):
+        x = rng.normal(size=(25, 2))
+        y = rng.integers(0, 2, size=25)
+        loader = DataLoader(x, y, batch_size=10, drop_last=True)
+        assert len(loader) == 2
+        assert len(list(loader)) == 2
+
+    def test_no_shuffle_preserves_order(self, rng):
+        x = np.arange(20).reshape(20, 1).astype(float)
+        y = np.arange(20)
+        loader = DataLoader(x, y, batch_size=5, shuffle=False)
+        first_batch = next(iter(loader))
+        np.testing.assert_array_equal(first_batch[1], [0, 1, 2, 3, 4])
+
+    def test_shuffle_changes_across_epochs(self, rng):
+        x = np.arange(40).reshape(40, 1).astype(float)
+        y = np.arange(40)
+        loader = DataLoader(x, y, batch_size=40, shuffle=True, seed=3)
+        epoch1 = next(iter(loader))[1]
+        epoch2 = next(iter(loader))[1]
+        assert not np.array_equal(epoch1, epoch2)
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((3, 2)), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((0, 2)), np.zeros(0))
+
+    def test_invalid_batch_size(self, rng):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((3, 2)), np.zeros(3), batch_size=0)
+
+
+class TestUserProfiles:
+    def test_sample_profile(self, tiny_dataset):
+        profile = sample_user_profile(tiny_dataset, 3, user_id=1)
+        assert profile.num_classes == 3
+        assert len(set(profile.preferred_classes)) == 3
+        assert all(0 <= c < tiny_dataset.num_classes for c in profile.preferred_classes)
+
+    def test_sample_profile_deterministic(self, tiny_dataset):
+        a = sample_user_profile(tiny_dataset, 4, seed=5)
+        b = sample_user_profile(tiny_dataset, 4, seed=5)
+        assert a.preferred_classes == b.preferred_classes
+
+    def test_different_users_get_different_classes(self, tiny_dataset):
+        a = sample_user_profile(tiny_dataset, 4, user_id=0)
+        b = sample_user_profile(tiny_dataset, 4, user_id=1)
+        assert a.preferred_classes != b.preferred_classes
+
+    def test_invalid_count_raises(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            sample_user_profile(tiny_dataset, 0)
+        with pytest.raises(ValueError):
+            sample_user_profile(tiny_dataset, tiny_dataset.num_classes + 1)
+
+    def test_build_user_loaders(self, tiny_dataset):
+        profile = sample_user_profile(tiny_dataset, 3, seed=2)
+        train_loader, val_loader = build_user_loaders(tiny_dataset, profile, batch_size=8)
+        x, y = next(iter(train_loader))
+        assert x.shape[1:] == (3, tiny_dataset.image_size, tiny_dataset.image_size)
+        assert set(np.unique(y)) <= {0, 1, 2}
+        assert val_loader.num_samples == 3 * tiny_dataset.config.samples_per_class_val

@@ -1,0 +1,186 @@
+"""Tests for the figure-reproduction experiment runners (tiny configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    Fig1Config,
+    Fig2Config,
+    Fig3Config,
+    Fig4Config,
+    Fig7Config,
+    Fig8Config,
+    HeadlineConfig,
+    TINY_SCALE,
+    aggregate_fig8,
+    aggregate_overheads,
+    clear_model_cache,
+    format_table,
+    make_personalization_setup,
+    pretrained_universal_model,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig7,
+    run_fig8,
+    run_headline,
+    sparsity_for_class_count,
+)
+
+MICRO_SCALE = ExperimentScale(
+    name="micro",
+    dataset_preset="synthetic-tiny",
+    model_name="resnet_tiny",
+    pretrain_epochs=1,
+    finetune_epochs=1,
+    prune_iterations=1,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_model_cache()
+    yield
+    clear_model_cache()
+
+
+class TestCommonInfrastructure:
+    def test_pretrained_model_cached_and_cloned(self):
+        m1, acc1 = pretrained_universal_model(MICRO_SCALE, num_classes=8, input_size=12, seed=0)
+        m2, acc2 = pretrained_universal_model(MICRO_SCALE, num_classes=8, input_size=12, seed=0)
+        assert acc1 == acc2
+        assert m1 is not m2
+        # Mutating one clone must not affect the other.
+        next(iter(m1.parameters())).data += 1.0
+        p1 = next(iter(m1.parameters())).data
+        p2 = next(iter(m2.parameters())).data
+        assert not np.allclose(p1, p2)
+
+    def test_personalization_setup_resizes_head(self):
+        setup = make_personalization_setup(MICRO_SCALE, num_user_classes=3, seed=0)
+        assert setup.model.num_classes == 3
+        assert setup.profile.num_classes == 3
+        x, y = next(iter(setup.train_loader))
+        assert set(np.unique(y)) <= {0, 1, 2}
+        logits = setup.model(x)
+        assert logits.shape[1] == 3
+
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 0.5}, {"a": 20, "b": 0.25}]
+        text = format_table(rows)
+        assert "a" in text and "0.500" in text
+        assert format_table([]) == "(no rows)"
+
+
+class TestFig1:
+    def test_rows_and_shape(self):
+        config = Fig1Config(
+            models=("resnet_tiny",), nm_ratios=((2, 4),), num_user_classes=3, scale=MICRO_SCALE
+        )
+        rows = run_fig1(config)
+        assert len(rows) == 2  # dense + 2:4
+        assert {"model", "pattern", "sparsity", "accuracy", "accuracy_drop"} <= set(rows[0])
+        nm_row = [r for r in rows if r["pattern"] == "2:4"][0]
+        assert nm_row["sparsity"] == pytest.approx(0.5, abs=0.03)
+
+
+class TestFig2:
+    def test_distribution_reported(self):
+        config = Fig2Config(num_user_classes=3, target_sparsity=0.8, scale=MICRO_SCALE)
+        rows = run_fig2(config)
+        assert rows[-1]["layer"] == "<global>"
+        assert rows[-1]["global_sparsity"] == pytest.approx(0.8, abs=0.06)
+        layer_rows = rows[:-1]
+        assert all(0.0 <= r["sparsity"] <= 1.0 for r in layer_rows)
+        assert rows[-1]["sparsity_spread"] >= 0.0
+
+
+class TestFig3:
+    def test_methods_present_and_crisp_competitive(self):
+        config = Fig3Config(
+            sparsity_levels=(0.75,), block_sizes=(8,), num_user_classes=3, scale=MICRO_SCALE
+        )
+        rows = run_fig3(config)
+        methods = {r["method"] for r in rows}
+        assert methods == {"block", "crisp"}
+        crisp = [r for r in rows if r["method"] == "crisp"][0]
+        block = [r for r in rows if r["method"] == "block"][0]
+        assert crisp["achieved_sparsity"] == pytest.approx(0.75, abs=0.06)
+        assert block["achieved_sparsity"] == pytest.approx(0.75, abs=0.06)
+
+    def test_skips_targets_below_nm_floor(self):
+        config = Fig3Config(
+            sparsity_levels=(0.3,), block_sizes=(8,), nm_ratios=((2, 4),),
+            num_user_classes=3, scale=MICRO_SCALE,
+        )
+        rows = run_fig3(config)
+        assert all(r["method"] == "block" for r in rows)
+
+
+class TestFig4:
+    def test_overhead_ordering(self):
+        rows = run_fig4(Fig4Config())
+        overheads = aggregate_overheads(rows)
+        # The Fig. 4 claim: CSR and ELLPACK need several times more metadata.
+        assert overheads["csr"] > 2.0
+        assert overheads["ellpack"] > overheads["csr"]
+        assert overheads["crisp"] == pytest.approx(1.0)
+
+    def test_row_keys(self):
+        rows = run_fig4(Fig4Config(layer_shapes=(("l", 32, 32),)))
+        assert {"layer", "format", "metadata_bits", "total_bits", "metadata_vs_crisp"} <= set(rows[0])
+        assert len(rows) == 5  # five formats for the single layer
+
+
+class TestFig7:
+    def test_sparsity_for_class_count_monotone(self):
+        values = [sparsity_for_class_count(k, 40) for k in (1, 5, 10, 40)]
+        assert values == sorted(values, reverse=True)
+        assert values[0] == pytest.approx(0.9)
+
+    def test_invalid_class_count(self):
+        with pytest.raises(ValueError):
+            sparsity_for_class_count(0, 10)
+
+    def test_rows_structure(self):
+        config = Fig7Config(class_counts=(2,), scale=MICRO_SCALE, max_sparsity=0.75)
+        rows = run_fig7(config)
+        methods = {r["method"] for r in rows}
+        assert methods == {"dense", "crisp", "channel"}
+        crisp = [r for r in rows if r["method"] == "crisp"][0]
+        dense = [r for r in rows if r["method"] == "dense"][0]
+        assert crisp["flops_ratio"] < dense["flops_ratio"]
+
+
+class TestFig8:
+    def test_rows_and_aggregation(self):
+        config = Fig8Config(nm_ratios=((2, 4),), block_sizes=(64,), global_sparsities=(0.9,))
+        rows = run_fig8(config)
+        assert len(rows) == 9 * 4  # 9 layers x (dense, nvidia, dstc, crisp-b64)
+        agg = aggregate_fig8(rows)
+        by_acc = {r["accelerator"]: r for r in agg}
+        assert by_acc["dense"]["speedup_vs_dense"] == pytest.approx(1.0)
+        assert by_acc["crisp-stc-b64"]["speedup_vs_dense"] > by_acc["nvidia-stc"]["speedup_vs_dense"]
+        assert by_acc["nvidia-stc"]["speedup_vs_dense"] <= 2.0 + 1e-9
+
+    def test_paper_shape_across_patterns(self):
+        config = Fig8Config(block_sizes=(64,), global_sparsities=(0.9,))
+        agg = aggregate_fig8(run_fig8(config))
+        crisp = {r["pattern"]: r["speedup_vs_dense"] for r in agg if r["accelerator"] == "crisp-stc-b64"}
+        assert crisp["1:4"] >= crisp["2:4"] >= crisp["3:4"]
+
+
+class TestHeadline:
+    def test_summary_keys_and_claims(self):
+        config = HeadlineConfig(
+            fig3=Fig3Config(sparsity_levels=(0.75,), block_sizes=(8,),
+                            num_user_classes=3, scale=MICRO_SCALE),
+            fig8=Fig8Config(nm_ratios=((1, 4),), block_sizes=(64,), global_sparsities=(0.9,)),
+        )
+        summary = run_headline(config)
+        assert {"crisp_accuracy", "block_accuracy", "dense_accuracy", "crisp_sparsity",
+                "max_speedup", "max_energy_efficiency"} <= set(summary)
+        assert summary["max_speedup"] > summary["nvidia_max_speedup"]
+        assert summary["crisp_sparsity"] > 0.6

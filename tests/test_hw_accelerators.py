@@ -1,0 +1,182 @@
+"""Tests for the analytical accelerator models (dense, NVIDIA-STC, DSTC, CRISP-STC)."""
+
+import pytest
+
+from repro.hw import (
+    AcceleratorSpec,
+    CrispSTC,
+    DenseAccelerator,
+    DualSideSTC,
+    EnergyModel,
+    NvidiaSTC,
+    resnet50_reference_layers,
+)
+from repro.hw.workload import LayerWorkload
+
+
+def mid_layer(n=2, m=4, keep=0.4):
+    return resnet50_reference_layers(n=n, m=m, block_keep_ratio=keep)[5]
+
+
+class TestEnergyModel:
+    def test_breakdown_totals(self):
+        from repro.hw.energy import EnergyBreakdown
+
+        a = EnergyBreakdown(mac_pj=1.0, dram_pj=2.0)
+        b = EnergyBreakdown(smem_pj=3.0)
+        total = a + b
+        assert total.total_pj == pytest.approx(6.0)
+        assert total.total_uj == pytest.approx(6.0e-6)
+        assert set(total.as_dict()) >= {"mac_pj", "dram_pj", "total_pj"}
+
+    def test_scaled(self):
+        model = EnergyModel()
+        half = model.scaled(0.5)
+        assert half.mac_pj == pytest.approx(model.mac_pj * 0.5)
+        assert half.dram_access_pj == pytest.approx(model.dram_access_pj * 0.5)
+
+
+class TestAcceleratorSpec:
+    def test_defaults(self):
+        spec = AcceleratorSpec()
+        assert spec.num_macs == 256
+        assert spec.smem_kb == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec(num_macs=0)
+        with pytest.raises(ValueError):
+            AcceleratorSpec(dram_bandwidth_bytes_per_cycle=0)
+
+
+class TestDenseAccelerator:
+    def test_estimate_fields(self):
+        perf = DenseAccelerator().estimate(mid_layer())
+        assert perf.cycles > 0
+        assert perf.energy_uj > 0
+        assert perf.bound in ("compute", "smem", "dram")
+        assert perf.effective_macs == pytest.approx(mid_layer().dense_macs)
+
+    def test_compute_bound_on_conv_layers(self):
+        perf = DenseAccelerator().estimate(mid_layer())
+        assert perf.bound == "compute"
+
+    def test_latency_us(self):
+        perf = DenseAccelerator().estimate(mid_layer())
+        assert perf.latency_us(500.0) == pytest.approx(perf.cycles / 500.0)
+
+    def test_network_totals(self):
+        acc = DenseAccelerator()
+        layers = resnet50_reference_layers()
+        assert acc.total_cycles(layers) == pytest.approx(
+            sum(p.cycles for p in acc.estimate_network(layers))
+        )
+
+
+class TestNvidiaSTC:
+    def test_speedup_capped_at_two(self):
+        dense = DenseAccelerator()
+        stc = NvidiaSTC()
+        for n in (1, 2):
+            wl = mid_layer(n=n, m=4, keep=0.4)
+            speedup = dense.estimate(wl).cycles / stc.estimate(wl).cycles
+            assert speedup <= 2.0 + 1e-9
+            assert speedup > 1.2
+
+    def test_three_four_falls_back_to_dense_compute(self):
+        wl = mid_layer(n=3, m=4, keep=0.27)
+        perf = NvidiaSTC().estimate(wl)
+        assert perf.effective_macs == pytest.approx(wl.dense_macs)
+
+    def test_block_sparsity_not_exploited(self):
+        """NVIDIA-STC latency must not improve when only the block keep ratio drops."""
+        stc = NvidiaSTC()
+        aggressive = stc.estimate(mid_layer(n=2, m=4, keep=0.2)).cycles
+        mild = stc.estimate(mid_layer(n=2, m=4, keep=0.8)).cycles
+        assert aggressive == pytest.approx(mild, rel=1e-6)
+
+
+class TestDualSideSTC:
+    def test_early_layer_beats_late_layer(self):
+        dense = DenseAccelerator()
+        dstc = DualSideSTC()
+        layers = resnet50_reference_layers(n=2, m=4, block_keep_ratio=0.4)
+        early, late = layers[1], layers[-1]
+        early_speedup = dense.estimate(early).cycles / dstc.estimate(early).cycles
+        late_speedup = dense.estimate(late).cycles / dstc.estimate(late).cycles
+        assert early_speedup > late_speedup
+        assert early_speedup > 3.0
+        assert late_speedup < 4.0
+
+    def test_compute_reduction_capped(self):
+        wl = mid_layer(n=1, m=4, keep=0.1)  # extreme sparsity
+        perf = DualSideSTC().estimate(wl)
+        assert perf.effective_macs >= wl.dense_macs / DualSideSTC.max_compute_reduction - 1e-6
+
+    def test_benefits_from_activation_sparsity(self):
+        dstc = DualSideSTC()
+        dense_act = mid_layer().with_sparsity(activation_density=0.99)
+        sparse_act = mid_layer().with_sparsity(activation_density=0.4)
+        assert dstc.estimate(sparse_act).cycles <= dstc.estimate(dense_act).cycles + 1e-9
+
+
+class TestCrispSTC:
+    def test_block_size_in_name(self):
+        assert CrispSTC(block_size=32).name == "crisp-stc-b32"
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            CrispSTC(block_size=0)
+
+    def test_speedup_exceeds_nvidia(self):
+        dense = DenseAccelerator()
+        wl = mid_layer(n=2, m=4, keep=0.2)  # 90 % sparsity
+        crisp_speedup = dense.estimate(wl).cycles / CrispSTC(64).estimate(wl).cycles
+        nvidia_speedup = dense.estimate(wl).cycles / NvidiaSTC().estimate(wl).cycles
+        assert crisp_speedup > nvidia_speedup
+        assert crisp_speedup > 4.0
+
+    def test_larger_blocks_are_faster(self):
+        wl = mid_layer(n=2, m=4, keep=0.25)
+        cycles = {b: CrispSTC(b).estimate(wl).cycles for b in (16, 32, 64)}
+        assert cycles[64] <= cycles[32] <= cycles[16]
+
+    def test_speedup_ordering_across_nm_patterns(self):
+        """At a fixed block keep ratio the 1:4 pattern is the fastest, 3:4 the
+        slowest (Fig. 8 ordering)."""
+        dense = DenseAccelerator()
+        crisp = CrispSTC(64)
+        speedups = {}
+        for n in (1, 2, 3):
+            wl = mid_layer(n=n, m=4, keep=0.4)
+            speedups[n] = dense.estimate(wl).cycles / crisp.estimate(wl).cycles
+        assert speedups[1] > speedups[2] > speedups[3]
+
+    def test_speedup_grows_with_sparsity(self):
+        dense = DenseAccelerator()
+        crisp = CrispSTC(64)
+        speedups = []
+        for keep in (0.8, 0.4, 0.2):
+            wl = mid_layer(n=2, m=4, keep=keep)
+            speedups.append(dense.estimate(wl).cycles / crisp.estimate(wl).cycles)
+        assert speedups[0] < speedups[1] < speedups[2]
+
+    def test_energy_efficiency_better_than_dense(self):
+        dense = DenseAccelerator()
+        crisp = CrispSTC(64)
+        wl = mid_layer(n=2, m=4, keep=0.2)
+        ratio = dense.estimate(wl).energy_uj / crisp.estimate(wl).energy_uj
+        assert ratio > 3.0
+
+    def test_fmap_streaming_mode(self):
+        """With fmap_resident=False everyone pays feature-map DRAM traffic and
+        the CRISP advantage shrinks but persists."""
+        spec = AcceleratorSpec(fmap_resident=False)
+        dense = DenseAccelerator(spec=spec)
+        crisp = CrispSTC(64, spec=spec)
+        wl = mid_layer(n=2, m=4, keep=0.2)
+        speedup = dense.estimate(wl).cycles / crisp.estimate(wl).cycles
+        resident_speedup = (
+            DenseAccelerator().estimate(wl).cycles / CrispSTC(64).estimate(wl).cycles
+        )
+        assert 1.0 < speedup <= resident_speedup + 1e-9

@@ -1,0 +1,81 @@
+"""Tests for the accelerator comparison report (the Fig. 8 harness)."""
+
+import pytest
+
+from repro.hw import (
+    CrispSTC,
+    DenseAccelerator,
+    NvidiaSTC,
+    compare_accelerators,
+    default_accelerators,
+    resnet50_reference_layers,
+)
+
+
+@pytest.fixture
+def report():
+    workloads = resnet50_reference_layers(n=2, m=4, block_keep_ratio=0.25)
+    return compare_accelerators(workloads)
+
+
+class TestDefaultAccelerators:
+    def test_lineup(self):
+        names = [acc.name for acc in default_accelerators()]
+        assert names[:3] == ["dense", "nvidia-stc", "dstc"]
+        assert "crisp-stc-b64" in names
+
+    def test_custom_block_sizes(self):
+        names = [acc.name for acc in default_accelerators(block_sizes=(8,))]
+        assert "crisp-stc-b8" in names and "crisp-stc-b64" not in names
+
+
+class TestComparisonReport:
+    def test_layers_and_accelerators_present(self, report):
+        assert len(report.layers) == 9
+        assert set(report.accelerator_names) == {
+            "dense", "nvidia-stc", "dstc", "crisp-stc-b16", "crisp-stc-b32", "crisp-stc-b64",
+        }
+
+    def test_dense_baseline_ratios_are_one(self, report):
+        assert report.overall_speedup("dense") == pytest.approx(1.0)
+        assert report.overall_energy_efficiency("dense") == pytest.approx(1.0)
+
+    def test_overall_consistency_with_totals(self, report):
+        speedup = report.overall_speedup("crisp-stc-b64")
+        assert speedup == pytest.approx(
+            report.total_cycles("dense") / report.total_cycles("crisp-stc-b64")
+        )
+
+    def test_layer_speedups_keys(self, report):
+        speedups = report.layer_speedups("crisp-stc-b64")
+        assert set(speedups) == {layer.layer for layer in report.layers}
+        assert all(value > 1.0 for value in speedups.values())
+
+    def test_rows_structure(self, report):
+        rows = report.rows()
+        assert len(rows) == 9 * 6
+        sample = rows[0]
+        assert {"layer", "accelerator", "cycles", "energy_uj", "speedup_vs_dense",
+                "energy_eff_vs_dense", "bound"} <= set(sample)
+
+    def test_headline_orderings(self, report):
+        """The paper's Fig. 8 ordering: CRISP > DSTC and NVIDIA, NVIDIA <= 2x."""
+        crisp = report.overall_speedup("crisp-stc-b64")
+        nvidia = report.overall_speedup("nvidia-stc")
+        dstc = report.overall_speedup("dstc")
+        assert crisp > dstc
+        assert crisp > nvidia
+        assert nvidia <= 2.0 + 1e-9
+        assert report.overall_energy_efficiency("crisp-stc-b64") > report.overall_energy_efficiency("nvidia-stc")
+
+    def test_explicit_accelerator_list(self):
+        workloads = resnet50_reference_layers()
+        report = compare_accelerators(workloads, [DenseAccelerator(), NvidiaSTC()])
+        assert set(report.accelerator_names) == {"dense", "nvidia-stc"}
+
+    def test_block_size_ordering(self, report):
+        assert (
+            report.overall_speedup("crisp-stc-b64")
+            >= report.overall_speedup("crisp-stc-b32")
+            >= report.overall_speedup("crisp-stc-b16")
+        )

@@ -1,0 +1,102 @@
+"""Tests for hardware workload descriptions and extraction."""
+
+import numpy as np
+import pytest
+
+from repro.hw.workload import LayerWorkload, resnet50_reference_layers, workloads_from_model
+from repro.nn.models import resnet_tiny
+from repro.nn.models.base import prunable_layers
+
+
+class TestLayerWorkload:
+    def test_derived_quantities(self):
+        wl = LayerWorkload(
+            name="conv", out_channels=64, reduction=576, output_positions=196,
+            n=2, m=4, block_keep_ratio=0.5, weight_density=0.25,
+        )
+        assert wl.dense_macs == 64 * 576 * 196
+        assert wl.effective_macs == pytest.approx(wl.dense_macs * 0.25)
+        assert wl.nm_sparsity == pytest.approx(0.5)
+        assert wl.weight_sparsity == pytest.approx(0.75)
+        assert wl.dense_weight_bytes == 64 * 576
+        assert wl.output_bytes == 64 * 196
+
+    def test_fmap_bytes_fallback(self):
+        wl = LayerWorkload(name="fc", out_channels=10, reduction=100, output_positions=1)
+        assert wl.fmap_bytes == wl.input_bytes
+        wl2 = LayerWorkload(
+            name="conv", out_channels=10, reduction=90, output_positions=16,
+            input_fmap_bytes=160.0,
+        )
+        assert wl2.fmap_bytes == 160.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(out_channels=0, reduction=4, output_positions=4),
+            dict(out_channels=4, reduction=4, output_positions=4, n=5, m=4),
+            dict(out_channels=4, reduction=4, output_positions=4, block_keep_ratio=0.0),
+            dict(out_channels=4, reduction=4, output_positions=4, weight_density=1.5),
+            dict(out_channels=4, reduction=4, output_positions=4, activation_density=0.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LayerWorkload(name="bad", **kwargs)
+
+    def test_with_sparsity(self):
+        wl = LayerWorkload(name="conv", out_channels=8, reduction=64, output_positions=16)
+        sparse = wl.with_sparsity(n=1, m=4, block_keep_ratio=0.5)
+        assert sparse.weight_density == pytest.approx(0.125)
+        assert sparse.name == wl.name
+        assert wl.weight_density == 1.0  # original unchanged
+
+
+class TestReferenceLayers:
+    def test_layer_count_and_names(self):
+        layers = resnet50_reference_layers()
+        assert len(layers) == 9
+        assert layers[0].name == "conv1"
+        assert layers[-1].name == "layer4.2.conv3"
+
+    def test_sparsity_parameters_propagate(self):
+        layers = resnet50_reference_layers(n=1, m=4, block_keep_ratio=0.4)
+        for wl in layers:
+            assert wl.n == 1 and wl.m == 4
+            assert wl.weight_density == pytest.approx(0.1)
+
+    def test_early_layers_have_more_positions(self):
+        layers = resnet50_reference_layers()
+        assert layers[1].output_positions > layers[-1].output_positions
+
+    def test_late_layers_have_more_weights(self):
+        layers = resnet50_reference_layers()
+        assert layers[-1].dense_weight_bytes > layers[1].dense_weight_bytes
+
+    def test_batch_scaling(self):
+        b1 = resnet50_reference_layers(batch=1)
+        b4 = resnet50_reference_layers(batch=4)
+        assert b4[0].output_positions == 4 * b1[0].output_positions
+
+
+class TestWorkloadsFromModel:
+    def test_one_workload_per_prunable_layer(self, tiny_resnet):
+        workloads = workloads_from_model(tiny_resnet)
+        assert len(workloads) == len(prunable_layers(tiny_resnet))
+        names = {wl.name for wl in workloads}
+        assert names == set(prunable_layers(tiny_resnet))
+
+    def test_density_reflects_masks(self, tiny_resnet):
+        from repro.sparsity.nm import nm_mask
+
+        for layer in prunable_layers(tiny_resnet).values():
+            layer.set_reshaped_mask(nm_mask(np.abs(layer.reshaped_weight()), 1, 4, axis=0))
+        workloads = workloads_from_model(tiny_resnet)
+        conv_workloads = [wl for wl in workloads if wl.reduction > 16]
+        for wl in conv_workloads:
+            assert wl.weight_density == pytest.approx(0.25, abs=0.05)
+
+    def test_positions_positive(self, tiny_mobilenet):
+        for wl in workloads_from_model(tiny_mobilenet):
+            assert wl.output_positions >= 1
+            assert wl.fmap_bytes > 0

@@ -1,0 +1,154 @@
+"""Tests for the hybrid (N:M + uniform block) sparsity pattern."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparsity.hybrid import (
+    HybridSparsityConfig,
+    hybrid_average_sparsity,
+    hybrid_mask,
+    keep_blocks_for_target_sparsity,
+)
+from repro.sparsity.masks import check_block_uniformity, check_nm_compliance, density
+
+
+class TestHybridConfig:
+    def test_valid(self):
+        cfg = HybridSparsityConfig(2, 4, 16)
+        assert cfg.nm.sparsity == pytest.approx(0.5)
+        assert str(cfg) == "2:4+B16"
+
+    def test_invalid_nm(self):
+        with pytest.raises(ValueError):
+            HybridSparsityConfig(5, 4, 16)
+
+    def test_invalid_block(self):
+        with pytest.raises(ValueError):
+            HybridSparsityConfig(2, 4, 0)
+
+    def test_average_sparsity_method(self):
+        cfg = HybridSparsityConfig(2, 4, 16)
+        assert cfg.average_sparsity(0.5) == pytest.approx(0.75)
+
+
+class TestAverageSparsityFormula:
+    """The paper's formula: sparsity = 1 - (K'/K) * (N/M)."""
+
+    @pytest.mark.parametrize(
+        "n,m,keep,expected",
+        [
+            (2, 4, 1.0, 0.5),
+            (2, 4, 0.5, 0.75),
+            (1, 4, 0.4, 0.9),
+            (3, 4, 0.2, 0.85),
+            (4, 4, 0.25, 0.75),
+        ],
+    )
+    def test_values(self, n, m, keep, expected):
+        assert hybrid_average_sparsity(n, m, keep) == pytest.approx(expected)
+
+    def test_invalid_keep_ratio(self):
+        with pytest.raises(ValueError):
+            hybrid_average_sparsity(2, 4, 1.5)
+
+    @given(
+        st.integers(1, 4).flatmap(lambda n: st.tuples(st.just(n), st.integers(n, 8))),
+        st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bounds(self, nm_pair, keep):
+        n, m = nm_pair
+        value = hybrid_average_sparsity(n, m, keep)
+        assert 0.0 <= value < 1.0
+        # Hybrid sparsity is never below the N:M floor.
+        assert value >= 1.0 - n / m - 1e-12
+
+
+class TestKeepBlocksForTarget:
+    def test_basic(self):
+        # target 0.75 with 2:4 -> keep ratio 0.5 -> 4 of 8 blocks.
+        assert keep_blocks_for_target_sparsity(0.75, 2, 4, 8) == 4
+
+    def test_target_below_nm_floor_keeps_all(self):
+        assert keep_blocks_for_target_sparsity(0.25, 2, 4, 8) == 8
+
+    def test_never_below_one(self):
+        assert keep_blocks_for_target_sparsity(0.99, 2, 4, 8) == 1
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            keep_blocks_for_target_sparsity(1.0, 2, 4, 8)
+
+    @given(
+        st.floats(0.0, 0.99),
+        st.integers(1, 4).flatmap(lambda n: st.tuples(st.just(n), st.integers(n, 4))),
+        st.integers(1, 32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_achieves_at_least_target(self, target, nm_pair, block_cols):
+        n, m = nm_pair
+        k = keep_blocks_for_target_sparsity(target, n, m, block_cols)
+        assert 1 <= k <= block_cols
+        achieved = hybrid_average_sparsity(n, m, k / block_cols)
+        # Either the target is met, or we already keep the minimum one block.
+        assert achieved >= target - 1e-9 or k == 1 or achieved >= 1 - n / m - 1e-9
+
+
+class TestHybridMask:
+    def test_structure_invariants(self, rng):
+        scores = rng.random((32, 32))
+        cfg = HybridSparsityConfig(2, 4, 8)
+        mask, info = hybrid_mask(scores, cfg, target_sparsity=0.75)
+        assert check_nm_compliance(mask, 2, 4, axis=0)
+        assert check_block_uniformity(mask, 8)
+        assert info.nm_compliant and info.uniform_rows
+        assert info.achieved_sparsity == pytest.approx(0.75, abs=0.02)
+
+    def test_explicit_keep_blocks(self, rng):
+        scores = rng.random((16, 32))
+        cfg = HybridSparsityConfig(2, 4, 8)
+        mask, info = hybrid_mask(scores, cfg, keep_blocks_per_row=2)
+        assert info.keep_blocks_per_row == 2
+        assert info.block_keep_ratio == pytest.approx(0.5)
+        assert density(mask) == pytest.approx(0.25)
+
+    def test_requires_exactly_one_target(self, rng):
+        scores = rng.random((16, 16))
+        cfg = HybridSparsityConfig(2, 4, 8)
+        with pytest.raises(ValueError):
+            hybrid_mask(scores, cfg)
+        with pytest.raises(ValueError):
+            hybrid_mask(scores, cfg, target_sparsity=0.8, keep_blocks_per_row=1)
+
+    def test_keeps_salient_blocks(self, rng):
+        scores = rng.random((16, 16)) * 0.01
+        scores[:, :8] += 10.0  # first block-column clearly most important
+        cfg = HybridSparsityConfig(2, 4, 8)
+        mask, _ = hybrid_mask(scores, cfg, keep_blocks_per_row=1)
+        assert mask[:, :8].sum() > 0
+        assert mask[:, 8:].sum() == 0
+
+    def test_non_2d_raises(self, rng):
+        with pytest.raises(ValueError):
+            hybrid_mask(rng.random(16), HybridSparsityConfig(2, 4, 4), target_sparsity=0.8)
+
+    @given(
+        st.integers(1, 3).flatmap(lambda n: st.tuples(st.just(n), st.just(4))),
+        st.sampled_from([4, 8]),
+        st.integers(1, 4),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_invariants(self, nm_pair, block_size, block_rows, block_cols):
+        n, m = nm_pair
+        rng = np.random.default_rng(n + block_size + block_rows * 10 + block_cols)
+        scores = rng.random((block_rows * block_size, block_cols * block_size))
+        cfg = HybridSparsityConfig(n, m, block_size)
+        keep = int(rng.integers(1, block_cols + 1))
+        mask, info = hybrid_mask(scores, cfg, keep_blocks_per_row=keep)
+        assert check_nm_compliance(mask, n, m, axis=0)
+        assert check_block_uniformity(mask, block_size)
+        expected = hybrid_average_sparsity(n, m, keep / block_cols)
+        assert info.achieved_sparsity == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,215 @@
+"""Tests for the layer classes (shapes, gradients, pruning views)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ReLU6,
+    PRUNABLE_LAYER_TYPES,
+)
+
+
+class TestConv2dLayer:
+    def test_forward_shape(self, rng):
+        layer = Conv2d(3, 8, 3, stride=1, padding=1, seed=0)
+        x = rng.normal(size=(2, 3, 6, 6))
+        assert layer(x).shape == (2, 8, 6, 6)
+
+    def test_forward_shape_stride(self, rng):
+        layer = Conv2d(3, 4, 3, stride=2, padding=1, seed=0)
+        x = rng.normal(size=(1, 3, 8, 8))
+        assert layer(x).shape == (1, 4, 4, 4)
+
+    def test_backward_accumulates_grads(self, rng):
+        layer = Conv2d(2, 3, 3, padding=1, seed=0)
+        x = rng.normal(size=(2, 2, 5, 5))
+        out = layer(x)
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_mask_zeroes_contributions(self, rng):
+        layer = Conv2d(2, 2, 1, bias=False, seed=0)
+        x = rng.normal(size=(1, 2, 3, 3))
+        layer.weight.set_mask(np.zeros_like(layer.weight.data))
+        np.testing.assert_allclose(layer(x), 0.0)
+
+    def test_masked_forward_preserves_dense_data(self, rng):
+        layer = Conv2d(2, 2, 1, bias=False, seed=0)
+        dense = layer.weight.data.copy()
+        layer.weight.mask = np.zeros_like(dense)
+        layer(rng.normal(size=(1, 2, 3, 3)))
+        np.testing.assert_allclose(layer.weight.data, dense)
+
+    def test_reshaped_weight_roundtrip(self, rng):
+        layer = Conv2d(3, 5, 3, seed=0)
+        reshaped = layer.reshaped_weight()
+        assert reshaped.shape == (3 * 3 * 3, 5)
+        original = layer.weight.data.copy()
+        layer.set_reshaped_weight(reshaped)
+        np.testing.assert_allclose(layer.weight.data, original)
+
+    def test_set_reshaped_mask(self, rng):
+        layer = Conv2d(2, 4, 3, seed=0)
+        mask2d = np.zeros((2 * 9, 4))
+        mask2d[:, 0] = 1.0
+        layer.set_reshaped_mask(mask2d)
+        # Only output channel 0 has non-zero weights.
+        assert np.count_nonzero(layer.weight.data[1:]) == 0
+        assert np.count_nonzero(layer.weight.data[0]) > 0
+
+    def test_set_reshaped_mask_bad_shape(self):
+        layer = Conv2d(2, 4, 3, seed=0)
+        with pytest.raises(ValueError):
+            layer.set_reshaped_mask(np.ones((5, 5)))
+
+    def test_reshaped_grad(self, rng):
+        layer = Conv2d(2, 3, 3, padding=1, seed=0)
+        assert layer.reshaped_grad() is None
+        x = rng.normal(size=(1, 2, 4, 4))
+        out = layer(x)
+        layer.backward(np.ones_like(out))
+        grad2d = layer.reshaped_grad()
+        assert grad2d.shape == (2 * 9, 3)
+
+    def test_flops_per_output(self):
+        layer = Conv2d(3, 8, 3)
+        assert layer.flops_per_output() == 2 * 3 * 9 * 8
+
+
+class TestDepthwiseConv2dLayer:
+    def test_forward_backward(self, rng):
+        layer = DepthwiseConv2d(4, 3, padding=1, seed=0)
+        x = rng.normal(size=(2, 4, 5, 5))
+        out = layer(x)
+        assert out.shape == (2, 4, 5, 5)
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+        assert layer.weight.grad is not None
+
+    def test_not_prunable(self):
+        assert DepthwiseConv2d(2, 3).prunable is False
+
+
+class TestLinearLayer:
+    def test_forward_backward(self, rng):
+        layer = Linear(6, 4, seed=0)
+        x = rng.normal(size=(3, 6))
+        out = layer(x)
+        assert out.shape == (3, 4)
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+
+    def test_reshaped_views(self, rng):
+        layer = Linear(6, 4, seed=0)
+        assert layer.reshaped_weight().shape == (6, 4)
+        mask2d = np.zeros((6, 4))
+        mask2d[:, :2] = 1.0
+        layer.set_reshaped_mask(mask2d)
+        assert layer.weight.sparsity() == pytest.approx(0.5)
+
+    def test_gradcheck(self, rng, gradcheck):
+        layer = Linear(3, 2, seed=0)
+        x = rng.normal(size=(2, 3))
+        grad_out = rng.normal(size=(2, 2))
+        layer(x)
+        layer.backward(grad_out)
+
+        def loss():
+            return float(np.sum(layer.forward(x) * grad_out))
+
+        np.testing.assert_allclose(layer.weight.grad, gradcheck(loss, layer.weight.data), atol=1e-4)
+
+
+class TestBatchNormLayer:
+    def test_train_vs_eval(self, rng):
+        layer = BatchNorm2d(3)
+        x = rng.normal(loc=2.0, size=(8, 3, 4, 4))
+        layer.train()
+        out_train = layer(x)
+        assert abs(out_train.mean()) < 1e-6
+        layer.eval()
+        out_eval = layer(x)
+        # Eval uses running stats which only partially adapted (momentum 0.1).
+        assert abs(out_eval.mean()) > 1e-3
+
+    def test_backward(self, rng):
+        layer = BatchNorm2d(2)
+        x = rng.normal(size=(4, 2, 3, 3))
+        out = layer(x)
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert layer.gamma.grad is not None and layer.beta.grad is not None
+
+
+class TestSimpleLayers:
+    def test_relu_layers(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        for layer in (ReLU(), ReLU6()):
+            out = layer(x)
+            grad = layer.backward(np.ones_like(out))
+            assert grad.shape == x.shape
+
+    def test_pooling_layers(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        for layer, expected in ((MaxPool2d(2), (2, 3, 4, 4)), (AvgPool2d(2), (2, 3, 4, 4))):
+            out = layer(x)
+            assert out.shape == expected
+            assert layer.backward(np.ones_like(out)).shape == x.shape
+
+    def test_global_avg_pool_layer(self, rng):
+        layer = GlobalAvgPool2d()
+        x = rng.normal(size=(2, 5, 4, 4))
+        out = layer(x)
+        assert out.shape == (2, 5)
+        assert layer.backward(np.ones_like(out)).shape == x.shape
+
+    def test_flatten(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer(x)
+        assert out.shape == (2, 48)
+        assert layer.backward(out).shape == x.shape
+
+    def test_identity(self, rng):
+        layer = Identity()
+        x = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(layer(x), x)
+        np.testing.assert_allclose(layer.backward(x), x)
+
+    def test_dropout_eval_is_identity(self, rng):
+        layer = Dropout(0.5, seed=0)
+        layer.eval()
+        x = rng.normal(size=(4, 4))
+        np.testing.assert_allclose(layer(x), x)
+
+    def test_dropout_train_scales(self, rng):
+        layer = Dropout(0.5, seed=0)
+        layer.train()
+        x = np.ones((1000,)).reshape(10, 100)
+        out = layer(x)
+        # Inverted dropout keeps the expectation roughly constant.
+        assert out.mean() == pytest.approx(1.0, abs=0.15)
+        kept = out != 0
+        np.testing.assert_allclose(out[kept], 2.0)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_prunable_layer_types(self):
+        assert Conv2d in PRUNABLE_LAYER_TYPES
+        assert Linear in PRUNABLE_LAYER_TYPES
+        assert DepthwiseConv2d not in PRUNABLE_LAYER_TYPES

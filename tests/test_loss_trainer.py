@@ -1,0 +1,167 @@
+"""Tests for loss functions and the training / evaluation loops."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.loss import CrossEntropyLoss, accuracy, top_k_accuracy
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+from repro.nn.trainer import TrainConfig, Trainer, accumulate_gradients, evaluate
+from repro.data import DataLoader
+
+
+class TinyClassifier(Module):
+    """A linear classifier on flattened images, for fast trainer tests."""
+
+    def __init__(self, in_features, num_classes, seed=0):
+        super().__init__()
+        self.fc = Linear(in_features, num_classes, seed=seed)
+        self.input_size = 12
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        self._shape = x.shape
+        return self.fc(x.reshape(x.shape[0], -1))
+
+    def backward(self, grad):
+        return self.fc.backward(grad).reshape(self._shape)
+
+
+class TestCrossEntropyLoss:
+    def test_uniform_logits(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.zeros((4, 10))
+        targets = np.arange(4)
+        assert loss_fn(logits, targets) == pytest.approx(np.log(10))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+
+    def test_invalid_shapes(self):
+        loss_fn = CrossEntropyLoss()
+        with pytest.raises(ValueError):
+            loss_fn(np.zeros((2, 3, 4)), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            loss_fn(np.zeros((2, 3)), np.zeros(5, dtype=int))
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(label_smoothing=1.5)
+
+    def test_gradient_sums_to_zero_per_sample(self, rng):
+        loss_fn = CrossEntropyLoss()
+        logits = rng.normal(size=(5, 7))
+        targets = rng.integers(0, 7, size=5)
+        loss_fn(logits, targets)
+        grad = loss_fn.backward()
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+
+class TestAccuracyMetrics:
+    def test_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        targets = np.array([0, 1, 1])
+        assert accuracy(logits, targets) == pytest.approx(2 / 3)
+
+    def test_top_k(self):
+        logits = np.array([[0.5, 0.3, 0.2], [0.1, 0.2, 0.7]])
+        targets = np.array([1, 0])
+        assert top_k_accuracy(logits, targets, k=1) == pytest.approx(0.0)
+        assert top_k_accuracy(logits, targets, k=2) == pytest.approx(0.5)
+        assert top_k_accuracy(logits, targets, k=3) == pytest.approx(1.0)
+
+    def test_top_k_clamped(self):
+        logits = np.array([[0.5, 0.5]])
+        assert top_k_accuracy(logits, np.array([0]), k=10) == 1.0
+
+
+def _separable_loaders(rng, num_classes=3, dim=12, samples=60):
+    """A linearly separable toy dataset (one Gaussian blob per class)."""
+    centers = rng.normal(scale=3.0, size=(num_classes, dim))
+    xs, ys = [], []
+    for c in range(num_classes):
+        xs.append(centers[c] + 0.3 * rng.normal(size=(samples // num_classes, dim)))
+        ys.append(np.full(samples // num_classes, c))
+    x = np.concatenate(xs).reshape(-1, 1, 1, dim)
+    y = np.concatenate(ys)
+    train = DataLoader(x, y, batch_size=10, seed=0)
+    val = DataLoader(x, y, batch_size=10, shuffle=False)
+    return train, val
+
+
+class TestTrainer:
+    def test_training_reduces_loss(self, rng):
+        train, val = _separable_loaders(rng)
+        model = TinyClassifier(12, 3, seed=0)
+        trainer = Trainer(model, TrainConfig(epochs=5, lr=0.1, weight_decay=0.0))
+        history = trainer.fit(train, val)
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert history.final_val_accuracy > 0.9
+        assert history.best_val_accuracy >= history.final_val_accuracy - 1e-9
+
+    def test_max_batches_per_epoch(self, rng):
+        train, _ = _separable_loaders(rng)
+        model = TinyClassifier(12, 3, seed=0)
+        trainer = Trainer(model, TrainConfig(epochs=1, lr=0.1, max_batches_per_epoch=1))
+        history = trainer.fit(train)
+        assert len(history.train_loss) == 1
+
+    def test_evaluate_counts_correctly(self, rng):
+        train, val = _separable_loaders(rng)
+        model = TinyClassifier(12, 3, seed=0)
+        acc = evaluate(model, iter(val))
+        assert 0.0 <= acc <= 1.0
+
+    def test_evaluate_empty_raises(self):
+        model = TinyClassifier(12, 3)
+        with pytest.raises(ValueError):
+            evaluate(model, iter([]))
+
+    def test_empty_epoch_raises(self):
+        model = TinyClassifier(12, 3)
+        trainer = Trainer(model)
+        with pytest.raises(ValueError):
+            trainer.train_epoch(iter([]))
+
+
+class TestAccumulateGradients:
+    def test_returns_grads_for_all_parameters(self, rng):
+        train, _ = _separable_loaders(rng)
+        model = TinyClassifier(12, 3, seed=0)
+        grads = accumulate_gradients(model, iter(train))
+        assert "fc.weight" in grads and "fc.bias" in grads
+        assert grads["fc.weight"].shape == model.fc.weight.shape
+
+    def test_model_left_clean(self, rng):
+        train, _ = _separable_loaders(rng)
+        model = TinyClassifier(12, 3, seed=0)
+        before = model.fc.weight.data.copy()
+        accumulate_gradients(model, iter(train), max_batches=2)
+        np.testing.assert_allclose(model.fc.weight.data, before)
+        assert model.fc.weight.grad is None
+
+    def test_averaging_over_batches(self, rng):
+        train, _ = _separable_loaders(rng)
+        model = TinyClassifier(12, 3, seed=0)
+        one = accumulate_gradients(model, iter(train), max_batches=1)
+        many = accumulate_gradients(model, iter(train), max_batches=4)
+        # Averaged gradients should have comparable magnitude, not 4x.
+        ratio = np.abs(many["fc.weight"]).mean() / np.abs(one["fc.weight"]).mean()
+        assert ratio < 3.0
+
+    def test_no_batches_raises(self):
+        model = TinyClassifier(12, 3)
+        with pytest.raises(ValueError):
+            accumulate_gradients(model, iter([]))
+
+    def test_training_with_optimizer_respects_masks(self, rng):
+        train, _ = _separable_loaders(rng)
+        model = TinyClassifier(12, 3, seed=0)
+        mask = np.zeros_like(model.fc.weight.data)
+        mask[:, :6] = 1.0
+        model.fc.weight.set_mask(mask)
+        trainer = Trainer(model, TrainConfig(epochs=1, lr=0.1))
+        trainer.fit(train)
+        assert np.count_nonzero(model.fc.weight.data[:, 6:]) == 0

@@ -1,0 +1,157 @@
+"""Tests for mask utilities (validation, density, structural checks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparsity.masks import (
+    check_block_uniformity,
+    check_nm_compliance,
+    combine_masks,
+    crop_to_shape,
+    density,
+    pad_to_multiple,
+    sparsity,
+    validate_mask,
+)
+
+
+class TestValidateMask:
+    def test_valid(self):
+        mask = validate_mask(np.array([[0, 1], [1, 0]]))
+        assert mask.dtype == np.float64
+
+    def test_non_binary_raises(self):
+        with pytest.raises(ValueError):
+            validate_mask(np.array([[0.5, 1.0]]))
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError):
+            validate_mask(np.ones(4))
+
+
+class TestDensitySparsity:
+    def test_values(self):
+        mask = np.array([[1, 0], [0, 0]])
+        assert density(mask) == pytest.approx(0.25)
+        assert sparsity(mask) == pytest.approx(0.75)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            density(np.zeros((0, 0)))
+
+    @given(st.integers(1, 10), st.integers(1, 10), st.floats(0.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_density_plus_sparsity_is_one(self, rows, cols, p):
+        rng = np.random.default_rng(42)
+        mask = (rng.random((rows, cols)) < p).astype(float)
+        assert density(mask) + sparsity(mask) == pytest.approx(1.0)
+
+
+class TestNMCompliance:
+    def test_compliant_2_4(self):
+        mask = np.array([[1], [1], [0], [0], [0], [1], [1], [0]], dtype=float)
+        assert check_nm_compliance(mask, 2, 4, axis=0)
+
+    def test_violating_2_4(self):
+        mask = np.array([[1], [1], [1], [0]], dtype=float)
+        assert not check_nm_compliance(mask, 2, 4, axis=0)
+
+    def test_all_zero_group_is_compliant(self):
+        mask = np.zeros((8, 3))
+        assert check_nm_compliance(mask, 1, 4, axis=0)
+
+    def test_axis_1(self):
+        mask = np.array([[1, 1, 0, 0], [1, 0, 1, 0]], dtype=float)
+        assert check_nm_compliance(mask, 2, 4, axis=1)
+
+    def test_partial_group_ignored(self):
+        # 6 rows with m=4: only the first full group is checked.
+        mask = np.ones((6, 1))
+        mask[:4, 0] = [1, 1, 0, 0]
+        assert check_nm_compliance(mask, 2, 4, axis=0)
+
+    def test_invalid_axis(self):
+        with pytest.raises(ValueError):
+            check_nm_compliance(np.ones((4, 4)), 2, 4, axis=2)
+
+
+class TestBlockUniformity:
+    def test_uniform(self):
+        mask = np.zeros((4, 8))
+        mask[:, :4] = 1.0  # every block-row keeps exactly one 4x4 block
+        assert check_block_uniformity(mask, 4)
+
+    def test_non_uniform(self):
+        mask = np.zeros((8, 8))
+        mask[:4, :4] = 1.0  # first block-row keeps 1 block, second keeps 0
+        assert not check_block_uniformity(mask, 4)
+
+    def test_all_dense_uniform(self):
+        assert check_block_uniformity(np.ones((8, 8)), 4)
+
+    def test_all_zero_uniform(self):
+        assert check_block_uniformity(np.zeros((8, 8)), 4)
+
+
+class TestCombineMasks:
+    def test_and_semantics(self):
+        a = np.array([[1, 1], [0, 1]], dtype=float)
+        b = np.array([[1, 0], [0, 1]], dtype=float)
+        np.testing.assert_allclose(combine_masks(a, b), [[1, 0], [0, 1]])
+
+    def test_single_mask(self):
+        a = np.ones((2, 2))
+        np.testing.assert_allclose(combine_masks(a), a)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            combine_masks()
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            combine_masks(np.ones((2, 2)), np.ones((3, 3)))
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_result_never_denser_than_inputs(self, rows, cols):
+        rng = np.random.default_rng(rows * 7 + cols)
+        a = (rng.random((rows, cols)) < 0.6).astype(float)
+        b = (rng.random((rows, cols)) < 0.6).astype(float)
+        combined = combine_masks(a, b)
+        assert density(combined) <= min(density(a), density(b)) + 1e-12
+
+
+class TestPadCrop:
+    def test_pad_to_multiple(self):
+        m = np.ones((5, 7))
+        padded = pad_to_multiple(m, 4)
+        assert padded.shape == (8, 8)
+        np.testing.assert_allclose(padded[:5, :7], 1.0)
+        np.testing.assert_allclose(padded[5:, :], 0.0)
+
+    def test_pad_noop_when_aligned(self):
+        m = np.ones((8, 8))
+        assert pad_to_multiple(m, 4) is m
+
+    def test_pad_invalid_multiple(self):
+        with pytest.raises(ValueError):
+            pad_to_multiple(np.ones((2, 2)), 0)
+
+    def test_crop(self):
+        m = np.ones((8, 8))
+        cropped = crop_to_shape(m, (5, 7))
+        assert cropped.shape == (5, 7)
+
+    def test_crop_too_large_raises(self):
+        with pytest.raises(ValueError):
+            crop_to_shape(np.ones((4, 4)), (5, 5))
+
+    @given(st.integers(1, 20), st.integers(1, 20), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_pad_then_crop_roundtrip(self, rows, cols, multiple):
+        rng = np.random.default_rng(rows + cols * 31 + multiple)
+        m = rng.normal(size=(rows, cols))
+        restored = crop_to_shape(pad_to_multiple(m, multiple), (rows, cols))
+        np.testing.assert_allclose(restored, m)

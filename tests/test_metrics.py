@@ -1,0 +1,95 @@
+"""Tests for compression metrics (sparsity, FLOPs, storage)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models.base import prunable_layers
+from repro.pruning.metrics import (
+    collect_model_stats,
+    flops_ratio,
+    layer_sparsities,
+    model_sparsity,
+    model_storage_bits,
+)
+from repro.sparsity.nm import nm_mask
+
+
+def apply_nm_to_model(model, n, m):
+    for layer in prunable_layers(model).values():
+        scores = np.abs(layer.reshaped_weight())
+        layer.set_reshaped_mask(nm_mask(scores, n, m, axis=0))
+
+
+class TestModelSparsity:
+    def test_dense_model_zero_sparsity(self, tiny_resnet):
+        assert model_sparsity(tiny_resnet) == pytest.approx(0.0, abs=1e-6)
+
+    def test_nm_pruned_model(self, tiny_resnet):
+        apply_nm_to_model(tiny_resnet, 2, 4)
+        assert model_sparsity(tiny_resnet) == pytest.approx(0.5, abs=0.02)
+
+    def test_layer_sparsities_keys(self, tiny_resnet):
+        apply_nm_to_model(tiny_resnet, 1, 4)
+        per_layer = layer_sparsities(tiny_resnet)
+        assert set(per_layer) == set(prunable_layers(tiny_resnet))
+        for value in per_layer.values():
+            assert value == pytest.approx(0.75, abs=0.05)
+
+
+class TestModelStats:
+    def test_dense_flops_positive_and_consistent(self, tiny_resnet):
+        stats = collect_model_stats(tiny_resnet)
+        assert stats.dense_flops > 0
+        assert stats.sparse_flops == stats.dense_flops
+        assert stats.flops_ratio == pytest.approx(1.0)
+        assert stats.total_weights == sum(l.total_weights for l in stats.layers)
+
+    def test_conv_flops_scale_with_spatial_size(self):
+        from repro.nn.models import vgg_tiny
+
+        small = collect_model_stats(vgg_tiny(num_classes=4, input_size=8, seed=0), input_size=8)
+        large = collect_model_stats(vgg_tiny(num_classes=4, input_size=16, seed=0), input_size=16)
+        assert large.dense_flops > small.dense_flops * 2
+
+    def test_flops_ratio_tracks_sparsity(self, tiny_vgg):
+        dense_ratio = flops_ratio(tiny_vgg)
+        apply_nm_to_model(tiny_vgg, 2, 4)
+        pruned_ratio = flops_ratio(tiny_vgg)
+        assert dense_ratio == pytest.approx(1.0)
+        assert pruned_ratio == pytest.approx(0.5, abs=0.05)
+
+    def test_per_layer_records(self, tiny_vgg):
+        apply_nm_to_model(tiny_vgg, 2, 4)
+        stats = collect_model_stats(tiny_vgg)
+        by_name = stats.by_name()
+        assert set(by_name) == set(prunable_layers(tiny_vgg))
+        for layer_stats in stats.layers:
+            assert 0.0 <= layer_stats.sparsity <= 1.0
+            assert layer_stats.sparse_flops <= layer_stats.dense_flops
+
+
+class TestModelStorageBits:
+    def test_block_pruning_shrinks_storage(self, tiny_resnet):
+        from repro.sparsity.hybrid import HybridSparsityConfig, hybrid_mask
+
+        dense_bits = model_storage_bits(tiny_resnet, block_size=8)
+        # The CRISP format always budgets N values per group, so the encoded
+        # size is already below dense storage even before pruning.
+        assert dense_bits["total_bits"] < dense_bits["dense_bits"]
+
+        cfg = HybridSparsityConfig(2, 4, 8)
+        for layer in prunable_layers(tiny_resnet).values():
+            scores = np.abs(layer.reshaped_weight())
+            grid_cols = -(-scores.shape[1] // 8)
+            keep = max(1, grid_cols // 2)
+            mask, _ = hybrid_mask(scores, cfg, keep_blocks_per_row=keep)
+            layer.set_reshaped_mask(mask)
+        pruned_bits = model_storage_bits(tiny_resnet, block_size=8)
+        assert pruned_bits["total_bits"] < dense_bits["total_bits"]
+        assert pruned_bits["dense_bits"] == dense_bits["dense_bits"]
+        assert pruned_bits["metadata_bits"] > 0
+
+    def test_keys(self, tiny_resnet):
+        result = model_storage_bits(tiny_resnet, block_size=8)
+        assert set(result) == {"data_bits", "metadata_bits", "total_bits", "dense_bits"}
+        assert result["total_bits"] == result["data_bits"] + result["metadata_bits"]

@@ -1,0 +1,102 @@
+"""Tests for fine-grained N:M sparsity masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparsity.masks import check_nm_compliance, density
+from repro.sparsity.nm import NMConfig, apply_nm, nm_mask, nm_theoretical_sparsity
+
+
+class TestNMConfig:
+    def test_properties(self):
+        cfg = NMConfig(2, 4)
+        assert cfg.sparsity == pytest.approx(0.5)
+        assert cfg.density == pytest.approx(0.5)
+        assert not cfg.is_dense
+        assert str(cfg) == "2:4"
+
+    def test_dense_pattern(self):
+        assert NMConfig(4, 4).is_dense
+
+    @pytest.mark.parametrize("n,m", [(0, 4), (5, 4), (-1, 4), (2, 0)])
+    def test_invalid_raises(self, n, m):
+        with pytest.raises(ValueError):
+            NMConfig(n, m)
+
+    def test_theoretical_sparsity(self):
+        assert nm_theoretical_sparsity(1, 4) == pytest.approx(0.75)
+        assert nm_theoretical_sparsity(3, 4) == pytest.approx(0.25)
+
+
+class TestNMMask:
+    def test_exact_density(self, rng):
+        scores = rng.random((16, 8))
+        mask = nm_mask(scores, 2, 4, axis=0)
+        assert density(mask) == pytest.approx(0.5)
+        assert check_nm_compliance(mask, 2, 4, axis=0)
+
+    def test_keeps_largest_scores(self):
+        scores = np.array([[4.0], [3.0], [2.0], [1.0]])
+        mask = nm_mask(scores, 2, 4, axis=0)
+        np.testing.assert_allclose(mask[:, 0], [1, 1, 0, 0])
+
+    def test_1_4_and_3_4(self, rng):
+        scores = rng.random((32, 4))
+        assert density(nm_mask(scores, 1, 4)) == pytest.approx(0.25)
+        assert density(nm_mask(scores, 3, 4)) == pytest.approx(0.75)
+
+    def test_dense_pattern_returns_ones(self, rng):
+        scores = rng.random((8, 8))
+        np.testing.assert_allclose(nm_mask(scores, 4, 4), 1.0)
+
+    def test_axis_1(self, rng):
+        scores = rng.random((4, 16))
+        mask = nm_mask(scores, 2, 4, axis=1)
+        assert check_nm_compliance(mask, 2, 4, axis=1)
+        assert density(mask) == pytest.approx(0.5)
+
+    def test_partial_trailing_group(self, rng):
+        scores = rng.random((6, 3))  # 6 rows, m=4 -> trailing group of 2
+        mask = nm_mask(scores, 2, 4, axis=0)
+        # Full group keeps 2 of 4; the trailing pair keeps ceil(2*2/4)=1.
+        assert mask[:4].sum(axis=0) == pytest.approx(np.full(3, 2.0))
+        assert mask[4:].sum(axis=0) == pytest.approx(np.full(3, 1.0))
+
+    def test_non_2d_raises(self, rng):
+        with pytest.raises(ValueError):
+            nm_mask(rng.random(8), 2, 4)
+
+    @given(
+        st.integers(1, 4).flatmap(lambda n: st.tuples(st.just(n), st.integers(n, 8))),
+        st.integers(1, 6),
+        st.integers(1, 12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_compliance_and_density(self, nm_pair, groups, cols):
+        n, m = nm_pair
+        rng = np.random.default_rng(n * 100 + m * 10 + groups + cols)
+        scores = rng.random((groups * m, cols))
+        mask = nm_mask(scores, n, m, axis=0)
+        assert check_nm_compliance(mask, n, m, axis=0)
+        assert density(mask) == pytest.approx(n / m)
+
+    def test_ties_still_keep_exactly_n(self):
+        scores = np.ones((8, 4))
+        mask = nm_mask(scores, 2, 4)
+        np.testing.assert_allclose(mask.sum(axis=0), 4.0)  # 2 per group x 2 groups
+
+
+class TestApplyNM:
+    def test_prunes_smallest_magnitudes(self):
+        weight = np.array([[0.1], [-5.0], [3.0], [0.2]])
+        pruned, mask = apply_nm(weight, 2, 4)
+        np.testing.assert_allclose(mask[:, 0], [0, 1, 1, 0])
+        np.testing.assert_allclose(pruned[:, 0], [0, -5.0, 3.0, 0])
+
+    def test_sign_preserved(self, rng):
+        weight = rng.normal(size=(16, 4))
+        pruned, mask = apply_nm(weight, 2, 4)
+        nonzero = mask == 1
+        np.testing.assert_allclose(pruned[nonzero], weight[nonzero])

@@ -1,0 +1,136 @@
+"""Tests for SGD and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, ConstantLR, CosineAnnealingLR, StepLR
+
+
+def make_param(value=1.0, shape=(4,)):
+    return Parameter(np.full(shape, value))
+
+
+class TestSGD:
+    def test_plain_gradient_step(self):
+        p = make_param(1.0)
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.0)
+        p.accumulate_grad(np.full(p.shape, 2.0))
+        opt.step()
+        np.testing.assert_allclose(p.data, 1.0 - 0.1 * 2.0)
+
+    def test_weight_decay(self):
+        p = make_param(1.0)
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.5)
+        p.accumulate_grad(np.zeros(p.shape))
+        opt.step()
+        np.testing.assert_allclose(p.data, 1.0 - 0.1 * 0.5)
+
+    def test_momentum_accumulates(self):
+        p = make_param(0.0)
+        opt = SGD([p], lr=1.0, momentum=0.9, weight_decay=0.0)
+        for _ in range(2):
+            p.zero_grad()
+            p.accumulate_grad(np.ones(p.shape))
+            opt.step()
+        # Step 1: v=1 -> -1.  Step 2: v=1.9 -> total -2.9.
+        np.testing.assert_allclose(p.data, -2.9)
+
+    def test_nesterov_differs_from_classical(self):
+        p1, p2 = make_param(0.0), make_param(0.0)
+        opt1 = SGD([p1], lr=1.0, momentum=0.9, weight_decay=0.0, nesterov=False)
+        opt2 = SGD([p2], lr=1.0, momentum=0.9, weight_decay=0.0, nesterov=True)
+        for opt, p in ((opt1, p1), (opt2, p2)):
+            p.accumulate_grad(np.ones(p.shape))
+            opt.step()
+        assert not np.allclose(p1.data, p2.data)
+
+    def test_respects_masks(self):
+        p = make_param(1.0)
+        mask = np.array([1.0, 0.0, 1.0, 0.0])
+        p.set_mask(mask)
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.0, respect_masks=True)
+        p.accumulate_grad(np.ones(p.shape))
+        opt.step()
+        assert p.data[1] == 0.0 and p.data[3] == 0.0
+
+    def test_ste_mode_updates_masked_weights(self):
+        p = make_param(1.0)
+        p.mask = np.array([1.0, 0.0, 1.0, 0.0])
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.0, respect_masks=False)
+        p.accumulate_grad(np.ones(p.shape))
+        opt.step()
+        # Dense copy keeps evolving under the mask (straight-through estimator).
+        np.testing.assert_allclose(p.data, 0.9)
+
+    def test_skips_frozen_and_gradless(self):
+        frozen = make_param(1.0)
+        frozen.requires_grad = False
+        gradless = make_param(2.0)
+        opt = SGD([frozen, gradless], lr=0.1)
+        frozen.accumulate_grad(np.ones(frozen.shape))
+        opt.step()
+        np.testing.assert_allclose(frozen.data, 1.0)
+        np.testing.assert_allclose(gradless.data, 2.0)
+
+    def test_zero_grad(self):
+        p = make_param()
+        opt = SGD([p], lr=0.1)
+        p.accumulate_grad(np.ones(p.shape))
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_empty_parameters_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.0)
+
+    def test_state_dict_roundtrip(self):
+        p = make_param()
+        opt = SGD([p], lr=0.2, momentum=0.9)
+        p.accumulate_grad(np.ones(p.shape))
+        opt.step()
+        state = opt.state_dict()
+
+        opt2 = SGD([p], lr=0.1, momentum=0.5)
+        opt2.load_state_dict(state)
+        assert opt2.lr == 0.2 and opt2.momentum == 0.9
+        np.testing.assert_allclose(opt2._velocity[0], opt._velocity[0])
+
+
+class TestSchedulers:
+    def test_constant(self):
+        opt = SGD([make_param()], lr=0.1)
+        sched = ConstantLR(opt)
+        for _ in range(3):
+            assert sched.step() == pytest.approx(0.1)
+
+    def test_step_lr(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_step_lr_invalid(self):
+        with pytest.raises(ValueError):
+            StepLR(SGD([make_param()], lr=1.0), step_size=0)
+
+    def test_cosine(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] > lrs[4] > lrs[-1]
+        assert lrs[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_cosine_invalid(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(SGD([make_param()], lr=1.0), t_max=0)
+
+    def test_scheduler_updates_optimizer_lr(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)

@@ -1,0 +1,113 @@
+"""Tests for the class-aware saliency score and alternative criteria."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models.base import prunable_layers
+from repro.pruning.saliency import (
+    SALIENCY_CRITERIA,
+    class_aware_saliency,
+    compute_saliency,
+    gradient_saliency,
+    magnitude_saliency,
+    random_saliency,
+)
+
+
+class TestMagnitudeSaliency:
+    def test_shapes_match_reshaped_weights(self, tiny_resnet):
+        saliency = magnitude_saliency(tiny_resnet)
+        layers = prunable_layers(tiny_resnet)
+        assert set(saliency) == set(layers)
+        for name, layer in layers.items():
+            assert saliency[name].shape == layer.reshaped_weight().shape
+
+    def test_equals_abs_weight(self, tiny_resnet):
+        saliency = magnitude_saliency(tiny_resnet)
+        layers = prunable_layers(tiny_resnet)
+        name = next(iter(layers))
+        np.testing.assert_allclose(saliency[name], np.abs(layers[name].reshaped_weight()))
+
+    def test_non_negative(self, tiny_vgg):
+        for scores in magnitude_saliency(tiny_vgg).values():
+            assert np.all(scores >= 0)
+
+
+class TestClassAwareSaliency:
+    def test_shapes_and_nonnegativity(self, tiny_resnet, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        saliency = class_aware_saliency(tiny_resnet, iter(train_loader), max_batches=2)
+        layers = prunable_layers(tiny_resnet)
+        assert set(saliency) == set(layers)
+        for name, scores in saliency.items():
+            assert scores.shape == layers[name].reshaped_weight().shape
+            assert np.all(scores >= 0)
+
+    def test_model_weights_unchanged(self, tiny_resnet, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        before = {n: p.data.copy() for n, p in tiny_resnet.named_parameters()}
+        class_aware_saliency(tiny_resnet, iter(train_loader), max_batches=1)
+        for name, param in tiny_resnet.named_parameters():
+            np.testing.assert_allclose(param.data, before[name])
+
+    def test_depends_on_class_subset(self, tiny_dataset):
+        """Different user-class subsets must yield different saliency maps."""
+        from repro.data import build_user_loaders, sample_user_profile
+        from repro.nn.models import resnet_tiny
+
+        model = resnet_tiny(num_classes=2, input_size=tiny_dataset.image_size, seed=0)
+        profile_a = sample_user_profile(tiny_dataset, 2, seed=10)
+        profile_b = sample_user_profile(tiny_dataset, 2, seed=20)
+        assert profile_a.preferred_classes != profile_b.preferred_classes
+        loader_a, _ = build_user_loaders(tiny_dataset, profile_a, batch_size=16)
+        loader_b, _ = build_user_loaders(tiny_dataset, profile_b, batch_size=16)
+
+        sal_a = class_aware_saliency(model, iter(loader_a), max_batches=2)
+        sal_b = class_aware_saliency(model, iter(loader_b), max_batches=2)
+        name = next(iter(sal_a))
+        assert not np.allclose(sal_a[name], sal_b[name])
+
+    def test_zero_for_masked_weight_times_zero_grad(self, tiny_resnet, tiny_loaders):
+        """Saliency is |grad * weight|: zero weights yield zero saliency."""
+        train_loader, _ = tiny_loaders
+        layers = prunable_layers(tiny_resnet)
+        name, layer = next(iter(layers.items()))
+        layer.weight.data[:] = 0.0
+        saliency = class_aware_saliency(tiny_resnet, iter(train_loader), max_batches=1)
+        np.testing.assert_allclose(saliency[name], 0.0)
+
+
+class TestGradientAndRandomSaliency:
+    def test_gradient_saliency_shapes(self, tiny_resnet, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        saliency = gradient_saliency(tiny_resnet, iter(train_loader), max_batches=1)
+        assert set(saliency) == set(prunable_layers(tiny_resnet))
+
+    def test_random_saliency_deterministic_per_seed(self, tiny_resnet):
+        a = random_saliency(tiny_resnet, seed=3)
+        b = random_saliency(tiny_resnet, seed=3)
+        c = random_saliency(tiny_resnet, seed=4)
+        name = next(iter(a))
+        np.testing.assert_allclose(a[name], b[name])
+        assert not np.allclose(a[name], c[name])
+
+
+class TestComputeSaliencyDispatch:
+    def test_all_criteria_listed(self):
+        assert set(SALIENCY_CRITERIA) == {"class_aware", "magnitude", "gradient", "random"}
+
+    def test_dispatch(self, tiny_resnet, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        for criterion in SALIENCY_CRITERIA:
+            saliency = compute_saliency(
+                criterion, tiny_resnet, batches=iter(train_loader), max_batches=1
+            )
+            assert set(saliency) == set(prunable_layers(tiny_resnet))
+
+    def test_class_aware_requires_batches(self, tiny_resnet):
+        with pytest.raises(ValueError):
+            compute_saliency("class_aware", tiny_resnet)
+
+    def test_unknown_criterion(self, tiny_resnet):
+        with pytest.raises(ValueError):
+            compute_saliency("taylor2", tiny_resnet)

@@ -1,0 +1,135 @@
+"""Tests for the straight-through estimator and the sparsity schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models.base import prunable_layers
+from repro.pruning.schedule import (
+    SparsitySchedule,
+    cubic_schedule,
+    linear_schedule,
+    one_shot_schedule,
+)
+from repro.pruning.ste import STEConfig, refresh_nm_masks, ste_finetune
+from repro.sparsity.masks import check_nm_compliance
+
+
+class TestRefreshNMMasks:
+    def test_installs_compliant_masks(self, tiny_resnet):
+        masks = refresh_nm_masks(tiny_resnet, 2, 4)
+        layers = prunable_layers(tiny_resnet)
+        assert set(masks) == set(layers)
+        for name, layer in layers.items():
+            assert layer.weight.mask is not None
+            assert check_nm_compliance(masks[name], 2, 4, axis=0)
+
+    def test_uses_saliency_when_provided(self, tiny_resnet):
+        layers = prunable_layers(tiny_resnet)
+        name, layer = next(iter(layers.items()))
+        shape = layer.reshaped_weight().shape
+        saliency = {name: np.zeros(shape)}
+        saliency[name][0, :] = 10.0  # only the first row is "important"
+        masks = refresh_nm_masks(tiny_resnet, 1, 4, saliency=saliency)
+        assert masks[name][0].sum() == shape[1]  # first row fully kept
+
+    def test_preserves_fully_pruned_columns(self, tiny_resnet):
+        layers = prunable_layers(tiny_resnet)
+        name, layer = next(iter(layers.items()))
+        shape = layer.reshaped_weight().shape
+        # Block-prune the second half of the output channels.
+        coarse = np.ones(shape)
+        coarse[:, shape[1] // 2 :] = 0.0
+        layer.set_reshaped_mask(coarse)
+        masks = refresh_nm_masks(tiny_resnet, 2, 4)
+        assert masks[name][:, shape[1] // 2 :].sum() == 0
+
+
+class TestSTEFinetune:
+    def test_dense_weights_keep_evolving(self, tiny_resnet, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        refresh_nm_masks(tiny_resnet, 2, 4)
+        layers = prunable_layers(tiny_resnet)
+        name, layer = next(iter(layers.items()))
+        pruned_positions = layer.weight.mask == 0
+        before = layer.weight.data[pruned_positions].copy()
+
+        loss = ste_finetune(
+            tiny_resnet,
+            lambda: iter(train_loader),
+            STEConfig(epochs=1, lr=0.05, max_batches_per_epoch=2),
+        )
+        assert np.isfinite(loss)
+        after = layer.weight.data[pruned_positions]
+        # Straight-through updates reach the masked (pruned) weights.
+        assert not np.allclose(before, after)
+
+    def test_forward_still_masked(self, tiny_resnet, tiny_loaders, small_batch):
+        train_loader, _ = tiny_loaders
+        refresh_nm_masks(tiny_resnet, 2, 4)
+        ste_finetune(
+            tiny_resnet,
+            lambda: iter(train_loader),
+            STEConfig(epochs=1, max_batches_per_epoch=1),
+        )
+        layers = prunable_layers(tiny_resnet)
+        _, layer = next(iter(layers.items()))
+        effective = layer.weight.effective()
+        assert np.count_nonzero(effective[layer.weight.mask == 0]) == 0
+
+    def test_empty_loader_returns_nan(self, tiny_resnet):
+        loss = ste_finetune(tiny_resnet, lambda: iter([]), STEConfig(epochs=1))
+        assert np.isnan(loss)
+
+
+class TestSchedules:
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            SparsitySchedule(())
+        with pytest.raises(ValueError):
+            SparsitySchedule((0.5, 0.4))
+        with pytest.raises(ValueError):
+            SparsitySchedule((1.0,))
+
+    def test_schedule_accessors(self):
+        schedule = SparsitySchedule((0.5, 0.7, 0.9))
+        assert schedule.num_iterations == 3
+        assert schedule.final_target == 0.9
+        assert schedule[1] == 0.7
+        assert list(schedule) == [0.5, 0.7, 0.9]
+
+    def test_linear_schedule(self):
+        schedule = linear_schedule(0.5, 0.9, 4)
+        assert schedule.num_iterations == 4
+        assert schedule[0] == pytest.approx(0.6)
+        assert schedule.final_target == pytest.approx(0.9)
+
+    def test_linear_single_iteration(self):
+        schedule = linear_schedule(0.5, 0.9, 1)
+        assert list(schedule) == [0.9]
+
+    def test_linear_invalid(self):
+        with pytest.raises(ValueError):
+            linear_schedule(0.5, 0.9, 0)
+        with pytest.raises(ValueError):
+            linear_schedule(0.9, 0.5, 3)
+
+    def test_cubic_schedule_front_loads_pruning(self):
+        cubic = cubic_schedule(0.0, 0.9, 5)
+        linear = linear_schedule(0.0, 0.9, 5)
+        # Cubic prunes more aggressively in the first iterations.
+        assert cubic[0] > linear[0]
+        assert cubic.final_target == pytest.approx(0.9)
+
+    def test_cubic_invalid(self):
+        with pytest.raises(ValueError):
+            cubic_schedule(0.5, 0.4, 3)
+
+    def test_one_shot(self):
+        schedule = one_shot_schedule(0.85)
+        assert schedule.num_iterations == 1
+        assert schedule.final_target == 0.85
+
+    def test_monotonic_non_decreasing(self):
+        for schedule in (linear_schedule(0.3, 0.95, 7), cubic_schedule(0.3, 0.95, 7)):
+            targets = list(schedule)
+            assert all(b >= a - 1e-12 for a, b in zip(targets, targets[1:]))
