@@ -1,16 +1,31 @@
-"""Microbenchmarks for the core kernels and mask generators.
+"""Microbenchmarks for the core kernels, mask generators and compute backends.
 
 Not tied to a specific paper figure: these track the cost of the substrate
-operations (im2col convolution, mask generation, format encoding, the
-functional CRISP GEMM) so regressions in the building blocks are visible.
+operations (im2col convolution, mask generation, format encoding, the sparse
+GEMMs on both backends) so regressions in the building blocks are visible.
+
+Run under pytest-benchmark for the tracked numbers::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py --benchmark-only
+
+or as a script for a quick reference-vs-fast speedup report (the CI smoke
+run)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py
 """
+
+import time
 
 import numpy as np
 import pytest
 
+from repro.backend import Engine, get_backend
 from repro.nn import functional as F
+from repro.nn.models import build_model
 from repro.sparsity import (
+    BlockedEllpackFormat,
     CRISPFormat,
+    CSRFormat,
     HybridSparsityConfig,
     crisp_matmul,
     hybrid_mask,
@@ -18,10 +33,29 @@ from repro.sparsity import (
     uniform_block_mask,
 )
 
+#: Representative GEMM sizes for the backend comparison: a late-network
+#: 3x3 conv (128 -> 256 channels) after im2col lowering ((K, S) weight), with
+#: the activation column count of the paper's personalized-edge setting —
+#: batch-1 inference over a small late-stage feature map.
+BENCH_ROWS, BENCH_COLS, BENCH_BATCH = 1152, 256, 8
+BENCH_N, BENCH_M, BENCH_BLOCK = 2, 4, 16
+
 
 @pytest.fixture(scope="module")
 def rng():
     return np.random.default_rng(0)
+
+
+def _bench_operands(rng, rows=BENCH_ROWS, cols=BENCH_COLS, batch=BENCH_BATCH):
+    weight = rng.normal(size=(rows, cols))
+    mask, _ = hybrid_mask(
+        np.abs(weight),
+        HybridSparsityConfig(BENCH_N, BENCH_M, BENCH_BLOCK),
+        target_sparsity=0.85,
+    )
+    sparse = weight * mask
+    activations = rng.normal(size=(rows, batch))
+    return sparse, activations
 
 
 @pytest.mark.benchmark(group="kernels")
@@ -83,3 +117,112 @@ def test_crisp_matmul_kernel(benchmark, rng):
     activations = rng.normal(size=(128, 8))
     out = benchmark(crisp_matmul, fmt, activations)
     np.testing.assert_allclose(out, sparse.T @ activations, atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# Backend comparison: reference loops vs vectorized fast kernels
+# ---------------------------------------------------------------------------
+
+@pytest.mark.benchmark(group="sparse-backends")
+@pytest.mark.parametrize("backend", ["reference", "fast"])
+def test_csr_matmul_backend(benchmark, rng, backend):
+    sparse, acts = _bench_operands(rng)
+    fmt = CSRFormat.from_dense(sparse)
+    be = get_backend(backend)
+    out = benchmark(be.csr_matmul, fmt, acts)
+    np.testing.assert_allclose(out, sparse.T @ acts, atol=1e-8)
+
+
+@pytest.mark.benchmark(group="sparse-backends")
+@pytest.mark.parametrize("backend", ["reference", "fast"])
+def test_blocked_ellpack_matmul_backend(benchmark, rng, backend):
+    sparse, acts = _bench_operands(rng)
+    fmt = BlockedEllpackFormat.from_dense(sparse, BENCH_BLOCK)
+    be = get_backend(backend)
+    out = benchmark(be.blocked_ellpack_matmul, fmt, acts)
+    np.testing.assert_allclose(out, sparse.T @ acts, atol=1e-8)
+
+
+@pytest.mark.benchmark(group="sparse-backends")
+@pytest.mark.parametrize("backend", ["reference", "fast"])
+def test_crisp_matmul_backend(benchmark, rng, backend):
+    sparse, acts = _bench_operands(rng)
+    fmt = CRISPFormat.from_dense(sparse, BENCH_N, BENCH_M, BENCH_BLOCK)
+    be = get_backend(backend)
+    out = benchmark(be.crisp_matmul, fmt, acts)
+    np.testing.assert_allclose(out, sparse.T @ acts, atol=1e-8)
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_predict_kernel(benchmark, rng):
+    model = build_model("resnet_tiny", num_classes=10, input_size=16, seed=0)
+    engine = Engine(model, backend="fast", weight_format="dense")
+    batch = rng.normal(size=(8, 3, 16, 16))
+    logits = benchmark(engine.predict, batch)
+    assert logits.shape == (8, 10)
+    engine.detach()
+
+
+# ---------------------------------------------------------------------------
+# Script mode: the CI smoke run (reference vs fast speedup report)
+# ---------------------------------------------------------------------------
+
+def _time(fn, *args, repeat=3):
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if CSR / blocked-ELLPACK speedups fall below the "
+        "5x target (timing-sensitive; off by default so smoke runs on "
+        "loaded CI machines don't flake)",
+    )
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(0)
+    sparse, acts = _bench_operands(rng)
+    reference = get_backend("reference")
+    fast = get_backend("fast")
+
+    cases = [
+        ("csr", CSRFormat.from_dense(sparse), "csr_matmul"),
+        ("blocked-ellpack", BlockedEllpackFormat.from_dense(sparse, BENCH_BLOCK), "blocked_ellpack_matmul"),
+        ("crisp", CRISPFormat.from_dense(sparse, BENCH_N, BENCH_M, BENCH_BLOCK), "crisp_matmul"),
+    ]
+
+    print(
+        f"sparse GEMM {BENCH_ROWS}x{BENCH_COLS} weight, batch {BENCH_BATCH}, "
+        f"{BENCH_N}:{BENCH_M} in {BENCH_BLOCK}x{BENCH_BLOCK} blocks, ~85% sparse"
+    )
+    print(f"{'format':>16} | {'reference':>11} | {'fast':>11} | speedup")
+    failures = []
+    for name, fmt, method in cases:
+        ref_fn = getattr(reference, method)
+        fast_fn = getattr(fast, method)
+        np.testing.assert_allclose(fast_fn(fmt, acts), ref_fn(fmt, acts), atol=1e-8)
+        t_ref = _time(ref_fn, fmt, acts)
+        t_fast = _time(fast_fn, fmt, acts)
+        speedup = t_ref / t_fast
+        print(f"{name:>16} | {t_ref * 1e3:9.2f}ms | {t_fast * 1e3:9.2f}ms | {speedup:6.1f}x")
+        if name in ("csr", "blocked-ellpack") and speedup < 5.0:
+            failures.append(f"{name}: {speedup:.1f}x < 5x target")
+
+    if failures:
+        print(("FAIL: " if args.check else "below target (not enforced): ") + "; ".join(failures))
+        return 1 if args.check else 0
+    print("ok: fast backend meets the >=5x target on CSR and blocked-ELLPACK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,18 +5,29 @@ Package layout
 * :mod:`repro.nn` — NumPy deep-learning substrate (layers, models, training).
 * :mod:`repro.data` — synthetic class-conditional datasets and loaders.
 * :mod:`repro.sparsity` — N:M / block / hybrid masks, storage formats, kernels.
+* :mod:`repro.backend` — pluggable compute backends and the inference engine.
 * :mod:`repro.pruning` — the CRISP pruning framework and baseline pruners.
 * :mod:`repro.hw` — analytical sparse-accelerator latency/energy models.
 * :mod:`repro.experiments` — one runner per paper figure/table.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import nn
 from . import data
 from . import sparsity
+from . import backend
 from . import pruning
 from . import hw
 from . import experiments
 
-__all__ = ["nn", "data", "sparsity", "pruning", "hw", "experiments", "__version__"]
+__all__ = [
+    "nn",
+    "data",
+    "sparsity",
+    "backend",
+    "pruning",
+    "hw",
+    "experiments",
+    "__version__",
+]

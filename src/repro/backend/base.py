@@ -1,0 +1,299 @@
+"""The compute-backend interface and registry.
+
+A :class:`Backend` bundles every numerical kernel the reproduction executes:
+the dense layer primitives (conv2d, linear, pooling, batch normalisation)
+and the sparse matmul family keyed by storage format.  Two implementations
+ship with the repo:
+
+* ``reference`` — the original kernels, kept bit-exact so they can serve as
+  the correctness oracle for everything else;
+* ``fast`` — vectorized sparse kernels plus an im2col workspace cache for
+  inference (see :mod:`repro.backend.fast`).
+
+Backends are registered by name; the *active* backend is a process-global
+selection (defaulting to ``reference``) that the layer classes and the
+sparse-op dispatchers consult on every call.  Use :func:`set_backend` to
+switch globally or :func:`use_backend` for a scoped override.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Optional, Tuple, Type, Union
+
+import numpy as np
+
+__all__ = [
+    "Backend",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "active_backend",
+    "set_backend",
+    "use_backend",
+    "resolve_backend",
+    "DEFAULT_BACKEND",
+]
+
+#: Name of the backend used when nothing has been selected.
+DEFAULT_BACKEND = "reference"
+
+
+class Backend(ABC):
+    """Abstract compute backend: one method per numerical kernel.
+
+    The dense-layer methods mirror the cache-returning signatures of
+    :mod:`repro.nn.functional` so layers can swap backends without changing
+    their own forward/backward plumbing.  The sparse matmul family computes
+    ``weight.T @ activations`` from a compressed weight, exactly like the
+    reference kernels in :mod:`repro.sparsity.sparse_ops`.
+    """
+
+    #: Registry name, set on subclasses.
+    name: str = "abstract"
+
+    # -- im2col ---------------------------------------------------------------
+    @abstractmethod
+    def im2col(
+        self,
+        x: np.ndarray,
+        kernel_h: int,
+        kernel_w: int,
+        stride: int = 1,
+        padding: int = 0,
+        training: bool = True,
+    ) -> np.ndarray:
+        """Unfold ``(N, C, H, W)`` into receptive-field columns.
+
+        ``training=False`` allows the backend to return a reused workspace
+        buffer (only safe when no backward pass will consume the columns
+        after a subsequent forward call).
+        """
+
+    # -- dense layer kernels --------------------------------------------------
+    @abstractmethod
+    def conv2d_forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: int = 1,
+        padding: int = 0,
+        training: bool = True,
+    ) -> Tuple[np.ndarray, dict]:
+        ...
+
+    @abstractmethod
+    def conv2d_backward(
+        self, grad_out: np.ndarray, weight: np.ndarray, cache: dict
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        ...
+
+    @abstractmethod
+    def depthwise_conv2d_forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: int = 1,
+        padding: int = 0,
+        training: bool = True,
+    ) -> Tuple[np.ndarray, dict]:
+        ...
+
+    @abstractmethod
+    def depthwise_conv2d_backward(
+        self, grad_out: np.ndarray, weight: np.ndarray, cache: dict
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        ...
+
+    @abstractmethod
+    def linear_forward(
+        self, x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, dict]:
+        ...
+
+    @abstractmethod
+    def linear_backward(
+        self, grad_out: np.ndarray, weight: np.ndarray, cache: dict
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        ...
+
+    @abstractmethod
+    def max_pool2d_forward(
+        self, x: np.ndarray, kernel: int, stride: Optional[int] = None, padding: int = 0
+    ) -> Tuple[np.ndarray, dict]:
+        ...
+
+    @abstractmethod
+    def max_pool2d_backward(self, grad_out: np.ndarray, cache: dict) -> np.ndarray:
+        ...
+
+    @abstractmethod
+    def avg_pool2d_forward(
+        self, x: np.ndarray, kernel: int, stride: Optional[int] = None, padding: int = 0
+    ) -> Tuple[np.ndarray, dict]:
+        ...
+
+    @abstractmethod
+    def avg_pool2d_backward(self, grad_out: np.ndarray, cache: dict) -> np.ndarray:
+        ...
+
+    @abstractmethod
+    def global_avg_pool_forward(self, x: np.ndarray) -> Tuple[np.ndarray, dict]:
+        ...
+
+    @abstractmethod
+    def global_avg_pool_backward(self, grad_out: np.ndarray, cache: dict) -> np.ndarray:
+        ...
+
+    @abstractmethod
+    def batchnorm_forward(
+        self,
+        x: np.ndarray,
+        gamma: np.ndarray,
+        beta: np.ndarray,
+        running_mean: np.ndarray,
+        running_var: np.ndarray,
+        training: bool,
+        momentum: float = 0.1,
+        eps: float = 1e-5,
+    ) -> Tuple[np.ndarray, dict]:
+        ...
+
+    @abstractmethod
+    def batchnorm_backward(
+        self, grad_out: np.ndarray, cache: dict
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        ...
+
+    # -- sparse matmul family -------------------------------------------------
+    @abstractmethod
+    def dense_matmul(self, weight: np.ndarray, activations: np.ndarray) -> np.ndarray:
+        ...
+
+    @abstractmethod
+    def masked_matmul(
+        self, weight: np.ndarray, mask: np.ndarray, activations: np.ndarray
+    ) -> np.ndarray:
+        ...
+
+    @abstractmethod
+    def csr_matmul(self, fmt, activations: np.ndarray) -> np.ndarray:
+        ...
+
+    @abstractmethod
+    def blocked_ellpack_matmul(self, fmt, activations: np.ndarray) -> np.ndarray:
+        ...
+
+    @abstractmethod
+    def crisp_matmul(self, fmt, activations: np.ndarray) -> np.ndarray:
+        ...
+
+    def sparse_matmul(self, fmt, activations: np.ndarray) -> np.ndarray:
+        """Dispatch a compressed-weight GEMM on the format type.
+
+        Accepts any of the :mod:`repro.sparsity.formats` encodings or a raw
+        dense weight array, and returns ``weight.T @ activations``.
+        """
+        from ..sparsity.formats import (
+            BlockedEllpackFormat,
+            CRISPFormat,
+            CSRFormat,
+            DenseFormat,
+        )
+
+        if isinstance(fmt, CSRFormat):
+            return self.csr_matmul(fmt, activations)
+        if isinstance(fmt, BlockedEllpackFormat):
+            return self.blocked_ellpack_matmul(fmt, activations)
+        if isinstance(fmt, CRISPFormat):
+            return self.crisp_matmul(fmt, activations)
+        if isinstance(fmt, DenseFormat):
+            return self.dense_matmul(fmt.matrix, activations)
+        if isinstance(fmt, np.ndarray):
+            return self.dense_matmul(fmt, activations)
+        raise TypeError(f"Unsupported weight format for sparse_matmul: {type(fmt)!r}")
+
+    # -- workspace management -------------------------------------------------
+    def clear_workspace(self) -> None:
+        """Drop any cached workspace buffers (no-op for stateless backends)."""
+
+    def workspace_stats(self) -> Dict[str, int]:
+        """Hit/miss counters of the workspace cache (zeros when stateless)."""
+        return {"hits": 0, "misses": 0, "buffers": 0}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_BACKEND_CLASSES: Dict[str, Type[Backend]] = {}
+_BACKEND_INSTANCES: Dict[str, Backend] = {}
+_ACTIVE: Optional[Backend] = None
+
+
+def register_backend(cls: Type[Backend]) -> Type[Backend]:
+    """Class decorator: register a :class:`Backend` subclass under ``cls.name``."""
+    name = getattr(cls, "name", None)
+    if not name or name == "abstract":
+        raise ValueError(f"Backend class {cls.__name__} must define a unique 'name'")
+    _BACKEND_CLASSES[name] = cls
+    _BACKEND_INSTANCES.pop(name, None)
+    return cls
+
+
+def available_backends() -> List[str]:
+    """Names accepted by :func:`get_backend` / :func:`set_backend`."""
+    return sorted(_BACKEND_CLASSES)
+
+
+def get_backend(name: str) -> Backend:
+    """Return the singleton instance of the backend registered as ``name``."""
+    if name not in _BACKEND_CLASSES:
+        raise KeyError(
+            f"Unknown backend {name!r}; available: {available_backends()}"
+        )
+    if name not in _BACKEND_INSTANCES:
+        _BACKEND_INSTANCES[name] = _BACKEND_CLASSES[name]()
+    return _BACKEND_INSTANCES[name]
+
+
+def resolve_backend(backend: Union[str, Backend, None]) -> Backend:
+    """Normalise a backend argument: name, instance or ``None`` (= active)."""
+    if backend is None:
+        return active_backend()
+    if isinstance(backend, Backend):
+        return backend
+    return get_backend(backend)
+
+
+def active_backend() -> Backend:
+    """The process-global backend every kernel call routes through."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = get_backend(DEFAULT_BACKEND)
+    return _ACTIVE
+
+
+def set_backend(backend: Union[str, Backend]) -> Backend:
+    """Select the active backend (by name or instance) and return it."""
+    global _ACTIVE
+    _ACTIVE = resolve_backend(backend)
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def use_backend(backend: Union[str, Backend]) -> Iterator[Backend]:
+    """Context manager: temporarily switch the active backend."""
+    global _ACTIVE
+    previous = active_backend()
+    _ACTIVE = resolve_backend(backend)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous

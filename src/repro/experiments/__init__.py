@@ -7,6 +7,7 @@ from .common import (
     TINY_SCALE,
     clear_model_cache,
     clone_model,
+    configure_backend,
     format_table,
     make_personalization_setup,
     pretrained_universal_model,
@@ -26,6 +27,7 @@ __all__ = [
     "TINY_SCALE",
     "clear_model_cache",
     "clone_model",
+    "configure_backend",
     "format_table",
     "make_personalization_setup",
     "pretrained_universal_model",

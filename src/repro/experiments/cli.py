@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments fig4 fig8     # several figures in one go
     python -m repro.experiments all           # every figure
     python -m repro.experiments --list        # available experiment names
+    python -m repro.experiments --backend fast fig1   # vectorized backend
 
 Each experiment prints the same rows/series the corresponding paper figure
 reports (at the reduced scale documented in EXPERIMENTS.md).
@@ -16,7 +17,7 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Dict, List, Sequence
 
-from .common import format_table
+from .common import configure_backend, format_table
 from .fig1_nm_ratios import run_fig1
 from .fig2_layerwise import run_fig2
 from .fig3_crisp_vs_block import run_fig3
@@ -85,7 +86,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="experiment names (fig1 fig2 fig3 fig4 fig7 fig8 headline) or 'all'",
     )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument(
+        "--backend",
+        choices=("reference", "fast"),
+        default="reference",
+        help="compute backend every kernel routes through (default: reference)",
+    )
     args = parser.parse_args(argv)
+
+    configure_backend(args.backend)
 
     if args.list:
         for name in sorted(EXPERIMENTS):

@@ -32,12 +32,24 @@ __all__ = [
     "ExperimentScale",
     "TINY_SCALE",
     "SMALL_SCALE",
+    "configure_backend",
     "pretrained_universal_model",
     "make_personalization_setup",
     "clone_model",
     "format_table",
     "clear_model_cache",
 ]
+
+
+def configure_backend(name: str) -> str:
+    """Select the compute backend every experiment kernel routes through.
+
+    Called by the CLI's ``--backend`` flag before any experiment runs.
+    Returns the resolved backend name.
+    """
+    from ..backend import set_backend
+
+    return set_backend(name).name
 
 
 @dataclass(frozen=True)
@@ -116,7 +128,20 @@ def pretrained_universal_model(
     Returns ``(model, validation_accuracy)``.  The cached model is never
     handed out directly — callers receive a deep copy so they can prune it.
     """
-    key = (scale.name, scale.model_name, scale.dataset_preset, num_classes, input_size, seed)
+    from ..backend import active_backend
+
+    # The backend participates in the cache key: different backends may
+    # accumulate different floating-point round-off during training, and a
+    # cached model must be reproducible for the backend that trained it.
+    key = (
+        scale.name,
+        scale.model_name,
+        scale.dataset_preset,
+        num_classes,
+        input_size,
+        seed,
+        active_backend().name,
+    )
     if key not in _MODEL_CACHE:
         dataset = dataset or make_dataset(scale.dataset_preset, seed=seed)
         all_classes = list(range(num_classes))

@@ -6,7 +6,12 @@ DSTC and CRISP-STC); see DESIGN.md for the substitution rationale.
 """
 
 from .energy import DEFAULT_ENERGY_MODEL, EnergyBreakdown, EnergyModel
-from .workload import LayerWorkload, resnet50_reference_layers, workloads_from_model
+from .workload import (
+    LayerWorkload,
+    resnet50_reference_layers,
+    workloads_from_engine,
+    workloads_from_model,
+)
 from .accelerator import Accelerator, AcceleratorSpec, EDGE_SPEC, LayerPerformance
 from .dense import DenseAccelerator
 from .nvidia_stc import NvidiaSTC
@@ -25,6 +30,7 @@ __all__ = [
     "EnergyModel",
     "LayerWorkload",
     "resnet50_reference_layers",
+    "workloads_from_engine",
     "workloads_from_model",
     "Accelerator",
     "AcceleratorSpec",

@@ -20,7 +20,12 @@ from ..nn.layers import Conv2d, Linear
 from ..nn.models.base import prunable_layers
 from ..nn.module import Module
 
-__all__ = ["LayerWorkload", "workloads_from_model", "resnet50_reference_layers"]
+__all__ = [
+    "LayerWorkload",
+    "workloads_from_model",
+    "workloads_from_engine",
+    "resnet50_reference_layers",
+]
 
 
 @dataclass
@@ -229,6 +234,31 @@ def workloads_from_model(
             )
         )
     return workloads
+
+
+def workloads_from_engine(
+    engine,
+    batch: int = 1,
+    activation_density: float = 0.6,
+) -> List[LayerWorkload]:
+    """Extract per-layer workloads from an inference :class:`~repro.backend.Engine`.
+
+    The engine already knows the hybrid-sparsity configuration its weights
+    were compressed with (``n``, ``m``, ``block_size``), so the accelerator
+    models receive workloads whose block keep ratios are measured from the
+    installed masks rather than inferred from overall density.  This is the
+    bridge that lets experiments drive the hardware model and the inference
+    engine from one object.
+    """
+    block_size = engine.block_size if engine.weight_format in ("blocked-ellpack", "crisp") else None
+    return workloads_from_model(
+        engine.module,
+        batch=batch,
+        activation_density=activation_density,
+        n=engine.n,
+        m=engine.m,
+        block_size=block_size,
+    )
 
 
 #: Representative ResNet-50 layers (ImageNet, 224x224 input) used by Fig. 8:

@@ -25,6 +25,7 @@ import numpy as np
 
 __all__ = [
     "im2col",
+    "im2col_windows",
     "col2im",
     "conv2d_forward",
     "conv2d_backward",
@@ -67,6 +68,49 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 # im2col / col2im
 # ---------------------------------------------------------------------------
 
+def im2col_windows(
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tuple[np.ndarray, Tuple[int, int, int, int]]:
+    """Strided sliding-window view over an image batch.
+
+    Returns ``(windows, (n, c, out_h, out_w))`` where ``windows`` is a
+    read-only view of shape ``(N, C, KH, KW, out_h, out_w)``.  This is the
+    zero-copy half of :func:`im2col`; callers that manage their own output
+    buffer (the fast backend's workspace cache) copy out of the view
+    themselves instead of paying a fresh allocation per call.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+
+    if padding > 0:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+
+    stride_n, stride_c, stride_h, stride_w = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kernel_h, kernel_w, out_h, out_w),
+        strides=(
+            stride_n,
+            stride_c,
+            stride_h,
+            stride_w,
+            stride_h * stride,
+            stride_w * stride,
+        ),
+        writeable=False,
+    )
+    return windows, (n, c, out_h, out_w)
+
+
 def im2col(
     x: np.ndarray,
     kernel_h: int,
@@ -86,32 +130,7 @@ def im2col(
     np.ndarray
         Matrix of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)``.
     """
-    n, c, h, w = x.shape
-    out_h = conv_output_size(h, kernel_h, stride, padding)
-    out_w = conv_output_size(w, kernel_w, stride, padding)
-
-    if padding > 0:
-        x = np.pad(
-            x,
-            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-            mode="constant",
-        )
-
-    # Strided sliding-window view: (N, C, KH, KW, out_h, out_w)
-    stride_n, stride_c, stride_h, stride_w = x.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, kernel_h, kernel_w, out_h, out_w),
-        strides=(
-            stride_n,
-            stride_c,
-            stride_h,
-            stride_w,
-            stride_h * stride,
-            stride_w * stride,
-        ),
-        writeable=False,
-    )
+    windows, (n, c, out_h, out_w) = im2col_windows(x, kernel_h, kernel_w, stride, padding)
     cols = windows.transpose(0, 4, 5, 1, 2, 3).reshape(
         n * out_h * out_w, c * kernel_h * kernel_w
     )

@@ -1,10 +1,16 @@
-"""Layer implementations built on :mod:`repro.nn.functional`.
+"""Layer implementations built on the pluggable compute backends.
 
 Each layer caches whatever the backward pass needs during ``forward`` and
 accumulates parameter gradients in ``backward``.  Convolution and linear
 layers expose ``reshaped_weight()`` / ``set_reshaped_weight()`` which view
 the weight in the ``(H*W*R, S)`` layout used by the CRISP pruning framework
 (kernel-position x input-channel rows, output-channel columns).
+
+Numerical kernels are not called directly: every forward routes through the
+active :class:`repro.backend.Backend` (``reference`` by default, selectable
+via :func:`repro.backend.set_backend`), and the backward pass reuses the
+backend recorded at forward time so a mid-step backend switch cannot pair a
+forward cache with a mismatched backward kernel.
 """
 
 from __future__ import annotations
@@ -34,6 +40,13 @@ __all__ = [
     "Add",
     "PRUNABLE_LAYER_TYPES",
 ]
+
+
+def _backend():
+    """The active compute backend (imported lazily to avoid an import cycle)."""
+    from ..backend import active_backend
+
+    return active_backend()
 
 
 def _kaiming_uniform(shape: Tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
@@ -84,12 +97,16 @@ class Conv2d(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         weight = self.weight.effective()
         bias = self.bias.data if self.bias is not None else None
-        out, self._cache = F.conv2d_forward(x, weight, bias, self.stride, self.padding)
+        backend = _backend()
+        out, self._cache = backend.conv2d_forward(
+            x, weight, bias, self.stride, self.padding, training=self.training
+        )
         self._cache["effective_weight"] = weight
+        self._cache["backend"] = backend
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        grad_x, grad_w, grad_b = F.conv2d_backward(
+        grad_x, grad_w, grad_b = self._cache["backend"].conv2d_backward(
             grad_out, self._cache["effective_weight"], self._cache
         )
         self.weight.accumulate_grad(grad_w)
@@ -169,13 +186,15 @@ class DepthwiseConv2d(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         bias = self.bias.data if self.bias is not None else None
-        out, self._cache = F.depthwise_conv2d_forward(
-            x, self.weight.data, bias, self.stride, self.padding
+        backend = _backend()
+        out, self._cache = backend.depthwise_conv2d_forward(
+            x, self.weight.data, bias, self.stride, self.padding, training=self.training
         )
+        self._cache["backend"] = backend
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        grad_x, grad_w, grad_b = F.depthwise_conv2d_backward(
+        grad_x, grad_w, grad_b = self._cache["backend"].depthwise_conv2d_backward(
             grad_out, self.weight.data, self._cache
         )
         self.weight.accumulate_grad(grad_w)
@@ -212,12 +231,14 @@ class Linear(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         weight = self.weight.effective()
         bias = self.bias.data if self.bias is not None else None
-        out, self._cache = F.linear_forward(x, weight, bias)
+        backend = _backend()
+        out, self._cache = backend.linear_forward(x, weight, bias)
         self._cache["effective_weight"] = weight
+        self._cache["backend"] = backend
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        grad_x, grad_w, grad_b = F.linear_backward(
+        grad_x, grad_w, grad_b = self._cache["backend"].linear_backward(
             grad_out, self._cache["effective_weight"], self._cache
         )
         self.weight.accumulate_grad(grad_w)
@@ -265,7 +286,8 @@ class BatchNorm2d(Module):
         self._cache: dict = {}
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        out, self._cache = F.batchnorm_forward(
+        backend = _backend()
+        out, self._cache = backend.batchnorm_forward(
             x,
             self.gamma.data,
             self.beta.data,
@@ -275,10 +297,13 @@ class BatchNorm2d(Module):
             momentum=self.momentum,
             eps=self.eps,
         )
+        self._cache["backend"] = backend
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        grad_x, grad_gamma, grad_beta = F.batchnorm_backward(grad_out, self._cache)
+        grad_x, grad_gamma, grad_beta = self._cache["backend"].batchnorm_backward(
+            grad_out, self._cache
+        )
         self.gamma.accumulate_grad(grad_gamma)
         self.beta.accumulate_grad(grad_beta)
         return grad_x
@@ -338,11 +363,13 @@ class MaxPool2d(Module):
         self._cache: dict = {}
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        out, self._cache = F.max_pool2d_forward(x, self.kernel, self.stride, self.padding)
+        backend = _backend()
+        out, self._cache = backend.max_pool2d_forward(x, self.kernel, self.stride, self.padding)
+        self._cache["backend"] = backend
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        return F.max_pool2d_backward(grad_out, self._cache)
+        return self._cache["backend"].max_pool2d_backward(grad_out, self._cache)
 
 
 class AvgPool2d(Module):
@@ -358,11 +385,13 @@ class AvgPool2d(Module):
         self._cache: dict = {}
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        out, self._cache = F.avg_pool2d_forward(x, self.kernel, self.stride, self.padding)
+        backend = _backend()
+        out, self._cache = backend.avg_pool2d_forward(x, self.kernel, self.stride, self.padding)
+        self._cache["backend"] = backend
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        return F.avg_pool2d_backward(grad_out, self._cache)
+        return self._cache["backend"].avg_pool2d_backward(grad_out, self._cache)
 
 
 class GlobalAvgPool2d(Module):
@@ -375,11 +404,13 @@ class GlobalAvgPool2d(Module):
         self._cache: dict = {}
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        out, self._cache = F.global_avg_pool_forward(x)
+        backend = _backend()
+        out, self._cache = backend.global_avg_pool_forward(x)
+        self._cache["backend"] = backend
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        return F.global_avg_pool_backward(grad_out, self._cache)
+        return self._cache["backend"].global_avg_pool_backward(grad_out, self._cache)
 
 
 class Flatten(Module):

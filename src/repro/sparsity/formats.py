@@ -136,27 +136,23 @@ class CSRFormat:
         if matrix.ndim != 2:
             raise ValueError(f"Expected a 2-D matrix, got shape {matrix.shape}")
         rows, _ = matrix.shape
-        values: List[float] = []
-        col_indices: List[int] = []
-        row_ptr = [0]
-        for r in range(rows):
-            nz = np.nonzero(matrix[r])[0]
-            values.extend(matrix[r, nz].tolist())
-            col_indices.extend(nz.tolist())
-            row_ptr.append(len(values))
+        # np.nonzero scans in row-major order, which is exactly CSR order.
+        row_idx, col_indices = np.nonzero(matrix)
+        counts = np.bincount(row_idx, minlength=rows)
+        row_ptr = np.zeros(rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=row_ptr[1:])
         return cls(
             shape=matrix.shape,
-            values=np.asarray(values),
-            col_indices=np.asarray(col_indices, dtype=np.int64),
-            row_ptr=np.asarray(row_ptr, dtype=np.int64),
+            values=matrix[row_idx, col_indices],
+            col_indices=col_indices.astype(np.int64),
+            row_ptr=row_ptr,
             value_bits=value_bits,
         )
 
     def to_dense(self) -> np.ndarray:
         dense = np.zeros(self.shape)
-        for r in range(self.shape[0]):
-            start, end = self.row_ptr[r], self.row_ptr[r + 1]
-            dense[r, self.col_indices[start:end]] = self.values[start:end]
+        row_idx = np.repeat(np.arange(self.shape[0]), np.diff(self.row_ptr))
+        dense[row_idx, self.col_indices] = self.values
         return dense
 
     def summary(self) -> FormatSummary:
@@ -203,22 +199,24 @@ class ELLPACKFormat:
         if matrix.ndim != 2:
             raise ValueError(f"Expected a 2-D matrix, got shape {matrix.shape}")
         rows, _ = matrix.shape
-        row_nz = [np.nonzero(matrix[r])[0] for r in range(rows)]
-        row_lengths = np.asarray([len(nz) for nz in row_nz], dtype=np.int64)
-        slots = int(row_lengths.max()) if rows > 0 else 0
-        slots = max(slots, 1)
+        row_idx, col_idx = np.nonzero(matrix)
+        row_lengths = np.bincount(row_idx, minlength=rows).astype(np.int64)
+        slots = max(1, int(row_lengths.max())) if rows > 0 else 1
         values = np.zeros((rows, slots))
         col_indices = np.zeros((rows, slots), dtype=np.int64)
-        for r, nz in enumerate(row_nz):
-            values[r, : len(nz)] = matrix[r, nz]
-            col_indices[r, : len(nz)] = nz
+        # Slot of each nnz = its rank within its row (nonzero scans row-major).
+        row_starts = np.concatenate([[0], np.cumsum(row_lengths)[:-1]])
+        slot_idx = np.arange(row_idx.size) - np.repeat(row_starts, row_lengths)
+        values[row_idx, slot_idx] = matrix[row_idx, col_idx]
+        col_indices[row_idx, slot_idx] = col_idx
         return cls(matrix.shape, values, col_indices, row_lengths, value_bits)
 
     def to_dense(self) -> np.ndarray:
         dense = np.zeros(self.shape)
-        for r in range(self.shape[0]):
-            length = self.row_lengths[r]
-            dense[r, self.col_indices[r, :length]] = self.values[r, :length]
+        slots = self.values.shape[1]
+        valid = np.arange(slots)[None, :] < self.row_lengths[:, None]
+        row_idx, slot_idx = np.nonzero(valid)
+        dense[row_idx, self.col_indices[row_idx, slot_idx]] = self.values[row_idx, slot_idx]
         return dense
 
     def summary(self) -> FormatSummary:
@@ -277,21 +275,24 @@ class BlockedEllpackFormat:
         slots = max(1, int(blocks_per_row.max()))
         blocks = np.zeros((grid.block_rows, slots, block_size, block_size))
         block_cols = np.zeros((grid.block_rows, slots), dtype=np.int64)
-        for br in range(grid.block_rows):
-            cols = np.nonzero(nonzero[br])[0]
-            for slot, bc in enumerate(cols):
-                blocks[br, slot] = tiles[br, bc]
-                block_cols[br, slot] = bc
+        br_idx, bc_idx = np.nonzero(nonzero)
+        # Slot of each retained block = its rank within its block-row.
+        row_starts = np.concatenate([[0], np.cumsum(blocks_per_row)[:-1]])
+        slot_idx = np.arange(br_idx.size) - np.repeat(row_starts, blocks_per_row)
+        blocks[br_idx, slot_idx] = tiles[br_idx, bc_idx]
+        block_cols[br_idx, slot_idx] = bc_idx
         return cls(matrix.shape, block_size, blocks, block_cols, blocks_per_row, value_bits)
 
     def to_dense(self) -> np.ndarray:
         grid = BlockGrid(self.shape[0], self.shape[1], self.block_size)
-        padded = np.zeros(grid.padded_shape)
-        for br in range(grid.block_rows):
-            for slot in range(self.blocks_per_row[br]):
-                bc = self.block_cols[br, slot]
-                r0, c0 = br * self.block_size, bc * self.block_size
-                padded[r0 : r0 + self.block_size, c0 : c0 + self.block_size] = self.blocks[br, slot]
+        slots = self.block_cols.shape[1]
+        valid = np.arange(slots)[None, :] < self.blocks_per_row[:, None]
+        br_idx, slot_idx = np.nonzero(valid)
+        tiles = np.zeros(
+            (grid.block_rows, grid.block_cols, self.block_size, self.block_size)
+        )
+        tiles[br_idx, self.block_cols[br_idx, slot_idx]] = self.blocks[br_idx, slot_idx]
+        padded = tiles.transpose(0, 2, 1, 3).reshape(grid.padded_shape)
         return padded[: self.shape[0], : self.shape[1]]
 
     def summary(self) -> FormatSummary:
@@ -417,19 +418,13 @@ class CRISPFormat:
     def to_dense(self) -> np.ndarray:
         grid = BlockGrid(self.shape[0], self.shape[1], self.block_size)
         padded = np.zeros(grid.padded_shape)
-        groups_per_block = self.block_size // self.m
-        for br in range(grid.block_rows):
-            for slot in range(self.blocks_per_row[br]):
-                bc = self.block_cols[br, slot]
-                r0, c0 = br * self.block_size, bc * self.block_size
-                for g in range(groups_per_block):
-                    for col in range(self.block_size):
-                        for k in range(self.n):
-                            value = self.group_values[br, slot, g, col, k]
-                            if value == 0.0:
-                                continue
-                            offset = self.group_offsets[br, slot, g, col, k]
-                            padded[r0 + g * self.m + offset, c0 + col] = value
+        # Unused slots hold all-zero groups, so selecting the non-zero stored
+        # values also filters out slot padding.
+        br, slot, g, col, k = np.nonzero(self.group_values)
+        offsets = self.group_offsets[br, slot, g, col, k]
+        rows = br * self.block_size + g * self.m + offsets
+        cols = self.block_cols[br, slot] * self.block_size + col
+        padded[rows, cols] = self.group_values[br, slot, g, col, k]
         return padded[: self.shape[0], : self.shape[1]]
 
     def summary(self) -> FormatSummary:

@@ -1,16 +1,22 @@
-"""Reference sparse matrix-multiplication kernels.
+"""Sparse matrix-multiplication kernels (reference implementations + dispatch).
 
-These kernels are functional models of the accelerator datapaths, not
-performance kernels: they verify that computing with the compressed CRISP
-representation (block-index gathering followed by N:M multiplexing, the two
-stages of Fig. 6) produces the same result as a dense GEMM with the masked
-weight matrix.  The hardware performance model itself lives in
-:mod:`repro.hw`.
+The ``*_reference`` kernels are functional models of the accelerator
+datapaths, not performance kernels: they verify that computing with the
+compressed CRISP representation (block-index gathering followed by N:M
+multiplexing, the two stages of Fig. 6) produces the same result as a dense
+GEMM with the masked weight matrix.  The hardware performance model itself
+lives in :mod:`repro.hw`.
+
+The public ``csr_matmul`` / ``blocked_ellpack_matmul`` / ``crisp_matmul``
+names dispatch through the active compute backend (:mod:`repro.backend`):
+the default ``reference`` backend runs the loop kernels below unchanged,
+while the ``fast`` backend substitutes the vectorized equivalents from
+:mod:`repro.backend.fast`.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Tuple, Union
 
 import numpy as np
 
@@ -22,10 +28,33 @@ __all__ = [
     "dense_matmul",
     "masked_matmul",
     "csr_matmul",
+    "csr_matmul_reference",
     "blocked_ellpack_matmul",
+    "blocked_ellpack_matmul_reference",
     "crisp_matmul",
+    "crisp_matmul_reference",
+    "check_activation_rows",
     "effective_macs",
 ]
+
+
+def check_activation_rows(fmt, activations: np.ndarray) -> None:
+    """Validate that ``activations`` has one row per weight-matrix row.
+
+    Shared by every backend so shape errors are raised identically on the
+    reference and vectorized paths.
+    """
+    rows = fmt.shape[0]
+    if activations.shape[0] != rows:
+        raise ValueError(
+            f"Activation rows {activations.shape[0]} != weight rows {rows}"
+        )
+
+
+def _dispatch(backend):
+    from ..backend import resolve_backend
+
+    return resolve_backend(backend)
 
 
 def dense_matmul(weight: np.ndarray, activations: np.ndarray) -> np.ndarray:
@@ -49,13 +78,10 @@ def masked_matmul(weight: np.ndarray, mask: np.ndarray, activations: np.ndarray)
     return dense_matmul(weight * mask, activations)
 
 
-def csr_matmul(fmt: CSRFormat, activations: np.ndarray) -> np.ndarray:
-    """GEMM using a CSR-encoded weight matrix."""
+def csr_matmul_reference(fmt: CSRFormat, activations: np.ndarray) -> np.ndarray:
+    """GEMM using a CSR-encoded weight matrix (per-row loop oracle)."""
     rows, cols = fmt.shape
-    if activations.shape[0] != rows:
-        raise ValueError(
-            f"Activation rows {activations.shape[0]} != weight rows {rows}"
-        )
+    check_activation_rows(fmt, activations)
     out = np.zeros((cols, activations.shape[1]))
     for r in range(rows):
         start, end = fmt.row_ptr[r], fmt.row_ptr[r + 1]
@@ -64,13 +90,12 @@ def csr_matmul(fmt: CSRFormat, activations: np.ndarray) -> np.ndarray:
     return out
 
 
-def blocked_ellpack_matmul(fmt: BlockedEllpackFormat, activations: np.ndarray) -> np.ndarray:
+def blocked_ellpack_matmul_reference(
+    fmt: BlockedEllpackFormat, activations: np.ndarray
+) -> np.ndarray:
     """GEMM using a Blocked-Ellpack weight: only retained blocks touch activations."""
     rows, cols = fmt.shape
-    if activations.shape[0] != rows:
-        raise ValueError(
-            f"Activation rows {activations.shape[0]} != weight rows {rows}"
-        )
+    check_activation_rows(fmt, activations)
     block = fmt.block_size
     acts_padded = np.pad(activations, ((0, (-rows) % block), (0, 0)))
     out_padded = np.zeros((((cols + block - 1) // block) * block, activations.shape[1]))
@@ -83,7 +108,7 @@ def blocked_ellpack_matmul(fmt: BlockedEllpackFormat, activations: np.ndarray) -
     return out_padded[:cols]
 
 
-def crisp_matmul(fmt: CRISPFormat, activations: np.ndarray) -> np.ndarray:
+def crisp_matmul_reference(fmt: CRISPFormat, activations: np.ndarray) -> np.ndarray:
     """GEMM using the CRISP hybrid format, mimicking the accelerator pipeline.
 
     Step 1: gather the activation rows of retained blocks (block-index skip).
@@ -91,10 +116,7 @@ def crisp_matmul(fmt: CRISPFormat, activations: np.ndarray) -> np.ndarray:
     value each stored weight multiplies (the 4:2 MUX stage of Fig. 6).
     """
     rows, cols = fmt.shape
-    if activations.shape[0] != rows:
-        raise ValueError(
-            f"Activation rows {activations.shape[0]} != weight rows {rows}"
-        )
+    check_activation_rows(fmt, activations)
     block = fmt.block_size
     m = fmt.m
     groups_per_block = block // m
@@ -116,6 +138,31 @@ def crisp_matmul(fmt: CRISPFormat, activations: np.ndarray) -> np.ndarray:
                         offset = fmt.group_offsets[br, slot, g, col, k]
                         out_tile[col] += value * act_group[offset]
     return out_padded[:cols]
+
+
+# ---------------------------------------------------------------------------
+# Backend dispatchers
+# ---------------------------------------------------------------------------
+
+def csr_matmul(
+    fmt: CSRFormat, activations: np.ndarray, backend: Union[str, None] = None
+) -> np.ndarray:
+    """GEMM using a CSR-encoded weight, via the active (or named) backend."""
+    return _dispatch(backend).csr_matmul(fmt, activations)
+
+
+def blocked_ellpack_matmul(
+    fmt: BlockedEllpackFormat, activations: np.ndarray, backend: Union[str, None] = None
+) -> np.ndarray:
+    """GEMM using a Blocked-Ellpack weight, via the active (or named) backend."""
+    return _dispatch(backend).blocked_ellpack_matmul(fmt, activations)
+
+
+def crisp_matmul(
+    fmt: CRISPFormat, activations: np.ndarray, backend: Union[str, None] = None
+) -> np.ndarray:
+    """GEMM using the CRISP hybrid format, via the active (or named) backend."""
+    return _dispatch(backend).crisp_matmul(fmt, activations)
 
 
 def effective_macs(mask: np.ndarray, batch: int = 1) -> int:

@@ -1,0 +1,409 @@
+"""Parity tests: every sparse kernel on every backend vs. the masked GEMM.
+
+The ``reference`` backend is the correctness oracle (bit-exact with the
+pre-backend code); the ``fast`` backend must agree with both the oracle and
+the dense ``masked_matmul`` reference to 1e-8 across randomized shapes, N:M
+ratios and block sizes.  The suite also pins the engine, the backend
+registry, the workspace cache and the dense-layer routing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import (
+    Engine,
+    FastBackend,
+    active_backend,
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.experiments import configure_backend
+from repro.hw import workloads_from_engine, workloads_from_model
+from repro.nn.models import build_model
+from repro.nn.models.base import prunable_layers
+from repro.sparsity import (
+    BlockedEllpackFormat,
+    CRISPFormat,
+    CSRFormat,
+    HybridSparsityConfig,
+    blocked_ellpack_matmul,
+    crisp_matmul,
+    csr_matmul,
+    hybrid_mask,
+    masked_matmul,
+)
+
+BACKENDS = ["reference", "fast"]
+
+#: Randomized (rows, cols) weight shapes, including block-unaligned ones.
+SHAPES = [(32, 16), (24, 40), (64, 64), (17, 9), (40, 23), (128, 48)]
+
+
+@pytest.fixture(autouse=True)
+def _reference_backend_default():
+    """Keep the global backend selection clean across tests."""
+    previous = active_backend()
+    yield
+    set_backend(previous)
+
+
+def random_sparse(rng, rows, cols, density=0.35):
+    return rng.normal(size=(rows, cols)) * (rng.random((rows, cols)) < density)
+
+
+def hybrid_weight(rng, rows, cols, n, m, block_size, keep=None):
+    weight = rng.normal(size=(rows, cols))
+    block_cols = -(-cols // block_size)
+    keep = keep if keep is not None else max(1, block_cols // 2)
+    mask, _ = hybrid_mask(
+        np.abs(weight),
+        HybridSparsityConfig(n, m, block_size),
+        keep_blocks_per_row=min(keep, block_cols),
+    )
+    return weight * mask, mask
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        assert {"reference", "fast"} <= set(available_backends())
+
+    def test_get_backend_singleton(self):
+        assert get_backend("fast") is get_backend("fast")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError):
+            get_backend("turbo")
+
+    def test_use_backend_scopes_selection(self):
+        before = active_backend().name
+        with use_backend("fast") as be:
+            assert be.name == "fast"
+            assert active_backend().name == "fast"
+        assert active_backend().name == before
+
+    def test_configure_backend_threads_through_experiments(self):
+        previous = active_backend()
+        try:
+            assert configure_backend("fast") == "fast"
+            assert active_backend().name == "fast"
+        finally:
+            set_backend(previous)
+
+    def test_sparse_matmul_rejects_unknown_format(self):
+        with pytest.raises(TypeError):
+            get_backend("fast").sparse_matmul(object(), np.zeros((4, 2)))
+
+
+class TestSparseKernelParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_csr_matches_masked_matmul(self, rng, backend, shape):
+        rows, cols = shape
+        weight = random_sparse(rng, rows, cols)
+        acts = rng.normal(size=(rows, 6))
+        fmt = CSRFormat.from_dense(weight)
+        out = csr_matmul(fmt, acts, backend=backend)
+        expected = masked_matmul(weight, (weight != 0).astype(float), acts)
+        np.testing.assert_allclose(out, expected, atol=1e-8)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("block_size", [4, 8, 16])
+    def test_blocked_ellpack_matches_masked_matmul(self, rng, backend, shape, block_size):
+        rows, cols = shape
+        weight = random_sparse(rng, rows, cols)
+        acts = rng.normal(size=(rows, 5))
+        fmt = BlockedEllpackFormat.from_dense(weight, block_size)
+        out = blocked_ellpack_matmul(fmt, acts, backend=backend)
+        expected = masked_matmul(weight, (weight != 0).astype(float), acts)
+        np.testing.assert_allclose(out, expected, atol=1e-8)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("nm", [(1, 4), (2, 4), (2, 8), (4, 8)])
+    @pytest.mark.parametrize("block_size", [8, 16])
+    def test_crisp_matches_masked_matmul(self, rng, backend, nm, block_size):
+        n, m = nm
+        weight, mask = hybrid_weight(rng, 64, 32, n, m, block_size)
+        acts = rng.normal(size=(64, 4))
+        fmt = CRISPFormat.from_dense(weight, n, m, block_size)
+        assert fmt.is_lossless
+        out = crisp_matmul(fmt, acts, backend=backend)
+        np.testing.assert_allclose(out, masked_matmul(weight, mask, acts), atol=1e-8)
+
+    @pytest.mark.parametrize("kernel", ["csr", "blocked-ellpack", "crisp"])
+    def test_fast_within_1e8_of_reference(self, rng, kernel):
+        weight, _ = hybrid_weight(rng, 96, 48, 2, 4, 8)
+        acts = rng.normal(size=(96, 7))
+        if kernel == "csr":
+            fmt = CSRFormat.from_dense(weight)
+            ref = csr_matmul(fmt, acts, backend="reference")
+            fast = csr_matmul(fmt, acts, backend="fast")
+        elif kernel == "blocked-ellpack":
+            fmt = BlockedEllpackFormat.from_dense(weight, 8)
+            ref = blocked_ellpack_matmul(fmt, acts, backend="reference")
+            fast = blocked_ellpack_matmul(fmt, acts, backend="fast")
+        else:
+            fmt = CRISPFormat.from_dense(weight, 2, 4, 8)
+            ref = crisp_matmul(fmt, acts, backend="reference")
+            fast = crisp_matmul(fmt, acts, backend="fast")
+        np.testing.assert_allclose(fast, ref, atol=1e-8)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_activation_mismatch_raises_on_both_backends(self, rng, backend):
+        fmt = CSRFormat.from_dense(random_sparse(rng, 8, 4))
+        with pytest.raises(ValueError):
+            csr_matmul(fmt, rng.normal(size=(9, 2)), backend=backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_weight(self, backend, rng):
+        fmt = CSRFormat.from_dense(np.zeros((6, 4)))
+        out = csr_matmul(fmt, rng.normal(size=(6, 3)), backend=backend)
+        np.testing.assert_allclose(out, np.zeros((4, 3)))
+
+    @given(
+        nm=st.sampled_from([(1, 4), (2, 4), (3, 4), (2, 8)]),
+        block_size=st.sampled_from([8, 16]),
+        rows=st.integers(2, 6),
+        cols=st.integers(1, 5),
+        batch=st.integers(1, 6),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_all_formats_all_backends(self, nm, block_size, rows, cols, batch, seed):
+        """Randomized shapes / N:M ratios / block sizes: every format on both
+        backends reproduces the masked dense GEMM."""
+        n, m = nm
+        rng = np.random.default_rng(seed)
+        rows, cols = rows * block_size, cols * block_size
+        weight, mask = hybrid_weight(rng, rows, cols, n, m, block_size)
+        acts = rng.normal(size=(rows, batch))
+        expected = masked_matmul(weight, mask, acts)
+
+        formats = [
+            CSRFormat.from_dense(weight),
+            BlockedEllpackFormat.from_dense(weight, block_size),
+            CRISPFormat.from_dense(weight, n, m, block_size),
+        ]
+        for backend in BACKENDS:
+            be = get_backend(backend)
+            for fmt in formats:
+                np.testing.assert_allclose(
+                    be.sparse_matmul(fmt, acts), expected, atol=1e-8
+                )
+
+
+class TestDenseLayerParity:
+    def test_model_forward_matches_across_backends(self, rng, tiny_resnet):
+        x = rng.normal(size=(2, 3, 16, 16))
+        tiny_resnet.eval()
+        ref = tiny_resnet(x)
+        with use_backend("fast"):
+            fast = tiny_resnet(x)
+        np.testing.assert_allclose(fast, ref, atol=1e-8)
+
+    def test_training_step_matches_across_backends(self, rng, tiny_resnet):
+        """Forward + backward in train mode is bit-identical on both backends
+        (the fast backend only diverges on inference-only paths)."""
+        x = rng.normal(size=(2, 3, 16, 16))
+        tiny_resnet.train()
+        ref = tiny_resnet(x)
+        grads_ref = {}
+        tiny_resnet.backward(np.ones_like(ref))
+        for name, p in tiny_resnet.named_parameters():
+            if p.grad is not None:
+                grads_ref[name] = p.grad.copy()
+        tiny_resnet.zero_grad()
+
+        with use_backend("fast"):
+            fast = tiny_resnet(x)
+            tiny_resnet.backward(np.ones_like(fast))
+        np.testing.assert_array_equal(fast, ref)
+        for name, p in tiny_resnet.named_parameters():
+            if name in grads_ref:
+                np.testing.assert_array_equal(p.grad, grads_ref[name])
+
+    def test_eval_mode_gradients_match_across_backends(self, rng, tiny_resnet):
+        """Saliency estimation runs forward+backward in eval mode; convs that
+        share an im2col shape key (any ResNet stage) must not alias the fast
+        backend's workspace buffer in their backward caches."""
+        x = rng.normal(size=(2, 3, 16, 16))
+        tiny_resnet.eval()
+        out = tiny_resnet(x)
+        tiny_resnet.backward(np.ones_like(out))
+        grads_ref = {
+            name: p.grad.copy()
+            for name, p in tiny_resnet.named_parameters()
+            if p.grad is not None
+        }
+        tiny_resnet.zero_grad()
+
+        with use_backend("fast"):
+            out_fast = tiny_resnet(x)
+            tiny_resnet.backward(np.ones_like(out_fast))
+        np.testing.assert_allclose(out_fast, out, atol=1e-8)
+        for name, p in tiny_resnet.named_parameters():
+            if name in grads_ref:
+                np.testing.assert_allclose(p.grad, grads_ref[name], atol=1e-8, err_msg=name)
+
+    def test_eval_mode_depthwise_gradients_match_across_backends(self, rng, tiny_mobilenet):
+        x = rng.normal(size=(2, 3, 16, 16))
+        tiny_mobilenet.eval()
+        out = tiny_mobilenet(x)
+        tiny_mobilenet.backward(np.ones_like(out))
+        grads_ref = {
+            name: p.grad.copy()
+            for name, p in tiny_mobilenet.named_parameters()
+            if p.grad is not None
+        }
+        tiny_mobilenet.zero_grad()
+
+        with use_backend("fast"):
+            out_fast = tiny_mobilenet(x)
+            tiny_mobilenet.backward(np.ones_like(out_fast))
+        for name, p in tiny_mobilenet.named_parameters():
+            if name in grads_ref:
+                np.testing.assert_allclose(p.grad, grads_ref[name], atol=1e-8, err_msg=name)
+
+    def test_workspace_cache_reuses_buffers(self, rng):
+        backend = FastBackend()
+        x = rng.normal(size=(2, 3, 8, 8))
+        first = backend.im2col(x, 3, 3, 1, 1, training=False)
+        second = backend.im2col(x, 3, 3, 1, 1, training=False)
+        assert first.base is second.base  # same underlying workspace buffer
+        stats = backend.workspace_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        backend.clear_workspace()
+        assert backend.workspace_stats()["buffers"] == 0
+
+    def test_training_im2col_never_shares_workspace(self, rng):
+        backend = FastBackend()
+        x = rng.normal(size=(2, 3, 8, 8))
+        first = backend.im2col(x, 3, 3, 1, 1, training=True)
+        second = backend.im2col(x, 3, 3, 1, 1, training=True)
+        assert first.base is not second.base
+        assert backend.workspace_stats()["buffers"] == 0
+
+
+def _pruned_model(rng, n=2, m=4, block_size=8):
+    model = build_model("resnet_tiny", num_classes=5, input_size=16, seed=0)
+    for layer in prunable_layers(model).values():
+        w2d = layer.reshaped_weight()
+        block_cols = -(-w2d.shape[1] // block_size)
+        mask, _ = hybrid_mask(
+            np.abs(w2d),
+            HybridSparsityConfig(n, m, block_size),
+            keep_blocks_per_row=max(1, block_cols - 1),
+        )
+        layer.set_reshaped_mask(mask)
+    return model
+
+
+class TestEngine:
+    @pytest.mark.parametrize("weight_format", ["dense", "csr", "blocked-ellpack", "crisp"])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_engine_matches_model_forward(self, rng, weight_format, backend):
+        model = _pruned_model(rng)
+        x = rng.normal(size=(3, 3, 16, 16))
+        model.eval()
+        expected = model(x)
+        engine = Engine(
+            model, backend=backend, weight_format=weight_format, n=2, m=4, block_size=8
+        )
+        try:
+            assert engine.is_lossless
+            np.testing.assert_allclose(engine.predict(x), expected, atol=1e-8)
+        finally:
+            engine.detach()
+        # Detaching restores the original forward exactly.
+        np.testing.assert_array_equal(model(x), expected)
+
+    def test_predict_many_matches_single_dispatch(self, rng):
+        model = _pruned_model(rng)
+        engine = Engine(model, backend="fast", weight_format="crisp", n=2, m=4, block_size=8)
+        try:
+            batches = [rng.normal(size=(s, 3, 16, 16)) for s in (1, 3, 2)]
+            fused = engine.predict_many(batches)
+            assert [o.shape[0] for o in fused] == [1, 3, 2]
+            for batch, logits in zip(batches, fused):
+                np.testing.assert_allclose(logits, engine.predict(batch), atol=1e-8)
+        finally:
+            engine.detach()
+
+    def test_predict_many_empty(self, rng):
+        model = _pruned_model(rng)
+        with Engine(model, backend="fast", weight_format="dense") as engine:
+            assert engine.predict_many([]) == []
+
+    def test_engine_context_manager_detaches(self, rng):
+        model = _pruned_model(rng)
+        with Engine(model, weight_format="dense", attach=False) as engine:
+            assert engine.attached
+        assert not engine.attached
+
+    def test_engine_rejects_unknown_format(self, rng):
+        model = _pruned_model(rng)
+        with pytest.raises(ValueError):
+            Engine(model, weight_format="coo")
+
+    def test_engine_preserves_eval_training_flag(self, rng):
+        model = _pruned_model(rng)
+        engine = Engine(model, weight_format="dense")
+        try:
+            model.train(True)
+            engine.predict(rng.normal(size=(1, 3, 16, 16)))
+            assert model.training
+        finally:
+            engine.detach()
+
+    def test_engine_stats_and_storage(self, rng):
+        model = _pruned_model(rng)
+        engine = Engine(model, backend="fast", weight_format="crisp", n=2, m=4, block_size=8)
+        try:
+            stats = engine.stats()
+            assert stats["backend"] == "fast"
+            assert stats["weight_format"] == "crisp"
+            assert stats["layers"] == len(prunable_layers(model))
+            assert stats["total_weight_bits"] > 0
+            summaries = engine.format_summaries()
+            assert set(summaries) == set(prunable_layers(model))
+        finally:
+            engine.detach()
+
+    def test_refresh_formats_tracks_weight_updates(self, rng):
+        model = _pruned_model(rng)
+        engine = Engine(model, backend="fast", weight_format="dense")
+        try:
+            x = rng.normal(size=(2, 3, 16, 16))
+            before = engine.predict(x)
+            head = list(prunable_layers(model).values())[-1]
+            head.weight.data *= 2.0
+            head.weight.apply_mask()
+            engine.refresh_formats()
+            engine.detach()
+            engine.attach()
+            after = engine.predict(x)
+            assert not np.allclose(before, after)
+            model.eval()
+            np.testing.assert_allclose(after, model(x), atol=1e-8)
+        finally:
+            engine.detach()
+
+    def test_workloads_from_engine(self, rng):
+        model = _pruned_model(rng)
+        engine = Engine(model, backend="fast", weight_format="crisp", n=2, m=4, block_size=8)
+        try:
+            workloads = workloads_from_engine(engine, batch=2)
+        finally:
+            engine.detach()
+        expected = workloads_from_model(model, batch=2, n=2, m=4, block_size=8)
+        assert [w.name for w in workloads] == [w.name for w in expected]
+        for got, want in zip(workloads, expected):
+            assert got.n == 2 and got.m == 4
+            assert got.block_keep_ratio == pytest.approx(want.block_keep_ratio)
+            assert got.weight_density == pytest.approx(want.weight_density)
