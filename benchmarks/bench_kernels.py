@@ -11,10 +11,8 @@ Run under pytest-benchmark for the tracked numbers::
 or as a script for a quick reference-vs-fast speedup report (the CI smoke
 run)::
 
-    PYTHONPATH=src python benchmarks/bench_kernels.py
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke --json BENCH_kernels.json
 """
-
-import time
 
 import numpy as np
 import pytest
@@ -167,17 +165,10 @@ def test_engine_predict_kernel(benchmark, rng):
 # Script mode: the CI smoke run (reference vs fast speedup report)
 # ---------------------------------------------------------------------------
 
-def _time(fn, *args, repeat=3):
-    best = float("inf")
-    for _ in range(repeat):
-        start = time.perf_counter()
-        fn(*args)
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def main(argv=None) -> int:
     import argparse
+
+    from benchlib import best_of, write_records
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -187,7 +178,18 @@ def main(argv=None) -> int:
         "5x target (timing-sensitive; off by default so smoke runs on "
         "loaded CI machines don't flake)",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single timing repeat (fast CI sanity run)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write machine-readable BENCH_*.json records to PATH",
+    )
     args = parser.parse_args(argv)
+    repeat = 1 if args.smoke else 3
 
     rng = np.random.default_rng(0)
     sparse, acts = _bench_operands(rng)
@@ -206,16 +208,33 @@ def main(argv=None) -> int:
     )
     print(f"{'format':>16} | {'reference':>11} | {'fast':>11} | speedup")
     failures = []
+    records = []
     for name, fmt, method in cases:
         ref_fn = getattr(reference, method)
         fast_fn = getattr(fast, method)
         np.testing.assert_allclose(fast_fn(fmt, acts), ref_fn(fmt, acts), atol=1e-8)
-        t_ref = _time(ref_fn, fmt, acts)
-        t_fast = _time(fast_fn, fmt, acts)
+        t_ref = best_of(ref_fn, fmt, acts, repeat=repeat)
+        t_fast = best_of(fast_fn, fmt, acts, repeat=repeat)
         speedup = t_ref / t_fast
         print(f"{name:>16} | {t_ref * 1e3:9.2f}ms | {t_fast * 1e3:9.2f}ms | {speedup:6.1f}x")
+        records.append(
+            {"name": f"{name}_matmul", "unit": "s", "reference": t_ref, "fast": t_fast,
+             "value": t_fast, "speedup": speedup}
+        )
         if name in ("csr", "blocked-ellpack") and speedup < 5.0:
             failures.append(f"{name}: {speedup:.1f}x < 5x target")
+
+    if args.json:
+        write_records(
+            args.json,
+            "sparse_kernels",
+            {
+                "rows": BENCH_ROWS, "cols": BENCH_COLS, "batch": BENCH_BATCH,
+                "n": BENCH_N, "m": BENCH_M, "block_size": BENCH_BLOCK,
+                "target_sparsity": 0.85, "smoke": args.smoke,
+            },
+            records,
+        )
 
     if failures:
         print(("FAIL: " if args.check else "below target (not enforced): ") + "; ".join(failures))

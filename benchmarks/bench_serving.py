@@ -1,0 +1,199 @@
+"""Serving throughput: micro-batched scheduler dispatch vs per-request dispatch.
+
+Builds a fleet of magnitude-sparsified tenant models in a
+:class:`~repro.serve.ModelRegistry`, replays a mixed-tenant single-image
+request stream through the :class:`~repro.serve.BatchScheduler`, and
+compares one-flush-per-request dispatch against micro-batched dispatch of
+the identical stream.  This is the number the serving redesign is about:
+fusing each tenant's queued requests into one ``predict_many`` call
+amortises per-request Python dispatch and engine lookup.
+
+Run under pytest-benchmark for the tracked numbers::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving.py --benchmark-only
+
+or as a script (the CI smoke run)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --json BENCH_serving.json
+"""
+
+import argparse
+
+import numpy as np
+import pytest
+
+from repro.nn.models import build_model
+from repro.nn.models.base import prunable_layers
+from repro.serve import BatchScheduler, EngineCache, EngineSpec, ModelRegistry, PredictRequest
+
+#: Fleet defaults: a few tenants, single-image requests — the paper's
+#: personalized-edge traffic shape, where per-request batches are tiny and
+#: dispatch overhead dominates unless requests are fused.
+TENANTS, REQUESTS, NUM_CLASSES, INPUT_SIZE = 4, 32, 8, 12
+SPARSITY = 0.85
+
+
+def _magnitude_sparsify(model, sparsity=SPARSITY, seed=0):
+    """Install unstructured magnitude masks so CSR serving sees realistic nnz."""
+    rng = np.random.default_rng(seed)
+    for layer in prunable_layers(model).values():
+        w = layer.weight.data
+        threshold = np.quantile(np.abs(w) + 1e-12 * rng.random(w.shape), sparsity)
+        layer.weight.set_mask((np.abs(w) >= threshold).astype(np.float64))
+
+
+def build_fleet(tenants=TENANTS, seed=0):
+    """Register ``tenants`` sparsified models; returns (registry, model_ids, spec)."""
+    spec = EngineSpec(backend="fast", weight_format="csr")
+    registry = ModelRegistry()
+    model_ids = []
+    for user_id in range(tenants):
+        model = build_model(
+            "resnet_tiny", num_classes=NUM_CLASSES, input_size=INPUT_SIZE, seed=seed + user_id
+        )
+        _magnitude_sparsify(model, seed=seed + user_id)
+        model_ids.append(registry.register(model, spec=spec, model_id=f"tenant-{user_id}"))
+    return registry, model_ids, spec
+
+
+def request_stream(model_ids, requests=REQUESTS, batch=1, seed=0):
+    """Round-robin mixed-tenant stream of ``requests`` single-image requests."""
+    rng = np.random.default_rng(seed)
+    return [
+        PredictRequest(
+            model_ids[i % len(model_ids)],
+            rng.normal(size=(batch, 3, INPUT_SIZE, INPUT_SIZE)),
+            request_id=f"bench-{i:05d}",
+        )
+        for i in range(requests)
+    ]
+
+
+def replay_per_request(scheduler, requests):
+    """One flush per request: the pre-serving dispatch pattern."""
+    return [scheduler.dispatch([r])[0] for r in requests]
+
+
+def replay_batched(scheduler, requests):
+    """The identical stream, fused per tenant by the scheduler."""
+    return scheduler.dispatch(requests)
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark harness
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def serving_setup():
+    registry, model_ids, _ = build_fleet()
+    scheduler = BatchScheduler(EngineCache(registry, capacity=TENANTS))
+    requests = request_stream(model_ids)
+    replay_batched(scheduler, requests)  # warm engines + workspaces
+    replay_per_request(scheduler, requests)
+    return scheduler, requests
+
+
+@pytest.mark.benchmark(group="serving")
+def test_per_request_dispatch(benchmark, serving_setup):
+    scheduler, requests = serving_setup
+    responses = benchmark(replay_per_request, scheduler, requests)
+    assert len(responses) == len(requests)
+
+
+@pytest.mark.benchmark(group="serving")
+def test_batched_dispatch(benchmark, serving_setup):
+    scheduler, requests = serving_setup
+    responses = benchmark(replay_batched, scheduler, requests)
+    assert len(responses) == len(requests)
+    assert max(r.batched_with for r in responses) > 1
+
+
+# ---------------------------------------------------------------------------
+# Script mode: the CI smoke run and the tracked JSON records
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    from benchlib import best_of, write_records
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tenants", type=int, default=TENANTS)
+    parser.add_argument("--requests", type=int, default=REQUESTS)
+    parser.add_argument(
+        "--capacity", type=int, default=None,
+        help="engine cache capacity (default: one slot per tenant)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fleet, single timing repeat (fast CI sanity run)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write machine-readable BENCH_*.json records to PATH",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless batched dispatch >= per-request dispatch "
+        "(timing-sensitive; off by default so loaded CI machines don't flake)",
+    )
+    args = parser.parse_args(argv)
+
+    tenants = 2 if args.smoke else args.tenants
+    requests_n = 8 if args.smoke else args.requests
+    repeat = 1 if args.smoke else 3
+    capacity = args.capacity or tenants
+
+    registry, model_ids, spec = build_fleet(tenants=tenants)
+    scheduler = BatchScheduler(EngineCache(registry, capacity=capacity))
+    requests = request_stream(model_ids, requests=requests_n)
+
+    # Warm both dispatch shapes, and check the two replays agree exactly.
+    solo = replay_per_request(scheduler, requests)
+    batched = replay_batched(scheduler, requests)
+    for a, b in zip(solo, batched):
+        np.testing.assert_allclose(a.logits, b.logits, atol=1e-10)
+
+    t_solo = best_of(replay_per_request, scheduler, requests, repeat=repeat)
+    t_batched = best_of(replay_batched, scheduler, requests, repeat=repeat)
+    speedup = t_solo / t_batched
+
+    print(
+        f"serving {requests_n} single-image requests over {tenants} tenants "
+        f"(resnet_tiny, {spec.weight_format} weights, cache capacity {capacity})"
+    )
+    print(f"{'dispatch':>12} | {'latency':>10} | {'requests/s':>10}")
+    print(f"{'per-request':>12} | {t_solo * 1e3:8.1f}ms | {requests_n / t_solo:10.0f}")
+    print(f"{'batched':>12} | {t_batched * 1e3:8.1f}ms | {requests_n / t_batched:10.0f}")
+    print(f"micro-batching speedup: {speedup:.2f}x")
+
+    if args.json:
+        write_records(
+            args.json,
+            "serving_throughput",
+            {
+                "tenants": tenants,
+                "requests": requests_n,
+                "request_batch": 1,
+                "cache_capacity": capacity,
+                "weight_format": spec.weight_format,
+                "backend": spec.backend,
+                "smoke": args.smoke,
+            },
+            [
+                {"name": "per_request_dispatch", "unit": "s", "value": t_solo,
+                 "requests_per_s": requests_n / t_solo},
+                {"name": "batched_dispatch", "unit": "s", "value": t_batched,
+                 "requests_per_s": requests_n / t_batched},
+                {"name": "micro_batching_speedup", "unit": "x", "value": speedup},
+            ],
+        )
+
+    if speedup < 1.0:
+        message = f"batched dispatch slower than per-request ({speedup:.2f}x < 1x)"
+        print(("FAIL: " if args.check else "below target (not enforced): ") + message)
+        return 1 if args.check else 0
+    print("ok: batched dispatch >= per-request dispatch")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

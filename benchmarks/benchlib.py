@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark scripts' script-mode (CI smoke) runs.
+
+Both ``bench_kernels.py`` and ``bench_serving.py`` import this module, which
+works from either entry point: running the script directly puts
+``benchmarks/`` on ``sys.path``, and pytest's rootdir insertion does the
+same when the files are collected.
+"""
+
+import json
+import time
+
+
+def best_of(fn, *args, repeat=3):
+    """Best-of-``repeat`` wall-clock seconds for ``fn(*args)``."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def write_records(path, benchmark, config, records):
+    """Write one machine-readable BENCH_*.json payload and announce it.
+
+    The schema is shared by every benchmark script so the perf trajectory
+    can be tracked across PRs: ``{"benchmark", "config", "records"}`` with
+    each record carrying at least ``name``, ``unit`` and ``value``.
+    """
+    payload = {"benchmark": benchmark, "config": config, "records": records}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {path}")

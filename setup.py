@@ -1,4 +1,34 @@
-"""Setup shim for environments without the `wheel` package (offline installs)."""
-from setuptools import setup
+"""Packaging for the CRISP reproduction.
 
-setup()
+Kept as a plain ``setup.py`` (no ``pyproject.toml`` build isolation) so the
+package installs in offline environments without the ``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="crisp-repro",
+    version="1.2.0",
+    description=(
+        "NumPy reproduction of CRISP hybrid N:M + block structured sparsity "
+        "for class-aware model pruning, with a multi-tenant serving layer"
+    ),
+    long_description=open("README.md").read(),
+    long_description_content_type="text/markdown",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-experiments=repro.experiments.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+    ],
+)

@@ -8,10 +8,12 @@ Package layout
 * :mod:`repro.backend` — pluggable compute backends and the inference engine.
 * :mod:`repro.pruning` — the CRISP pruning framework and baseline pruners.
 * :mod:`repro.hw` — analytical sparse-accelerator latency/energy models.
+* :mod:`repro.serve` — multi-tenant serving: model registry, engine cache,
+  micro-batching scheduler and the :class:`~repro.serve.PersonalizationService`.
 * :mod:`repro.experiments` — one runner per paper figure/table.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import nn
 from . import data
@@ -19,6 +21,7 @@ from . import sparsity
 from . import backend
 from . import pruning
 from . import hw
+from . import serve
 from . import experiments
 
 __all__ = [
@@ -28,6 +31,7 @@ __all__ = [
     "backend",
     "pruning",
     "hw",
+    "serve",
     "experiments",
     "__version__",
 ]

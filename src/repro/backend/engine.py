@@ -74,6 +74,38 @@ class Engine:
         if attach:
             self.attach()
 
+    @classmethod
+    def from_spec(cls, module: Module, spec, attach: bool = True) -> "Engine":
+        """Build an engine from an :class:`~repro.serve.types.EngineSpec`.
+
+        Accepts any object with ``backend`` / ``weight_format`` / ``n`` /
+        ``m`` / ``block_size`` attributes, so the serving layer's specs (and
+        their deserialized copies) materialize engines without this module
+        importing :mod:`repro.serve`.
+        """
+        return cls(
+            module,
+            backend=spec.backend,
+            weight_format=spec.weight_format,
+            n=spec.n,
+            m=spec.m,
+            block_size=spec.block_size,
+            attach=attach,
+        )
+
+    @property
+    def spec(self):
+        """This engine's configuration as a serializable ``EngineSpec``."""
+        from ..serve.types import EngineSpec
+
+        return EngineSpec(
+            backend=self.backend.name,
+            weight_format=self.weight_format,
+            n=self.n,
+            m=self.m,
+            block_size=self.block_size,
+        )
+
     # -- weight compression ---------------------------------------------------
     def _encode(self, weight2d: np.ndarray):
         if self.weight_format == "dense":
@@ -113,7 +145,11 @@ class Engine:
         )
 
     # -- layer re-routing -----------------------------------------------------
-    def _conv_forward(self, layer: Conv2d, fmt):
+    # Forward closures look the format up by *name* on every call (instead of
+    # capturing the format object at attach time), so refresh_formats() on a
+    # live engine takes effect immediately — re-pruned tenants are never
+    # served a stale encoding.
+    def _conv_forward(self, layer: Conv2d, name: str):
         kernel = layer.kernel_size
 
         def forward(x: np.ndarray) -> np.ndarray:
@@ -123,7 +159,7 @@ class Engine:
             cols = self.backend.im2col(
                 x, kernel, kernel, layer.stride, layer.padding, training=False
             )
-            out = self.backend.sparse_matmul(fmt, cols.T).T  # (N*oh*ow, S)
+            out = self.backend.sparse_matmul(self._formats[name], cols.T).T  # (N*oh*ow, S)
             if layer.bias is not None:
                 out = out + layer.bias.data
             layer._cache = {"x_shape": x.shape}
@@ -131,9 +167,9 @@ class Engine:
 
         return forward
 
-    def _linear_forward(self, layer: Linear, fmt):
+    def _linear_forward(self, layer: Linear, name: str):
         def forward(x: np.ndarray) -> np.ndarray:
-            out = self.backend.sparse_matmul(fmt, x.T).T  # (batch, out_features)
+            out = self.backend.sparse_matmul(self._formats[name], x.T).T  # (batch, out_features)
             if layer.bias is not None:
                 out = out + layer.bias.data
             layer._cache = {"x_shape": x.shape}
@@ -146,12 +182,11 @@ class Engine:
         if self._original_forward:
             return self
         for name, layer in prunable_layers(self.module).items():
-            fmt = self._formats[name]
             self._original_forward[name] = layer.__dict__.get("forward")
             if isinstance(layer, Conv2d):
-                layer.forward = self._conv_forward(layer, fmt)
+                layer.forward = self._conv_forward(layer, name)
             else:
-                layer.forward = self._linear_forward(layer, fmt)
+                layer.forward = self._linear_forward(layer, name)
         return self
 
     def detach(self) -> "Engine":

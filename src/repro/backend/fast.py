@@ -123,11 +123,18 @@ def csr_matmul_fast(fmt: CSRFormat, activations: np.ndarray) -> np.ndarray:
 
     :meth:`CSRFormat.to_dense` (vectorized) scatters the stored values into a
     dense operand in a single fancy-indexing pass; the matmul itself then
-    runs as one BLAS call instead of O(nnz) Python-level accumulations.
+    runs as one BLAS call instead of O(nnz) Python-level accumulations.  The
+    decoded (transposed) operand is memoized on the format, so a served
+    weight pays the decode once, not per request.
     """
     check_activation_rows(fmt, activations)
     activations = np.asarray(activations, dtype=np.float64)
-    return fmt.to_dense().T @ activations
+    cache = _format_cache(fmt)
+    dense_t = cache.get("dense_t")
+    if dense_t is None:
+        dense_t = np.ascontiguousarray(fmt.to_dense().T)
+        cache["dense_t"] = dense_t
+    return dense_t @ activations
 
 
 def blocked_ellpack_matmul_fast(

@@ -10,6 +10,7 @@ from .common import (
     configure_backend,
     format_table,
     make_personalization_setup,
+    make_service,
     pretrained_universal_model,
 )
 from .fig1_nm_ratios import Fig1Config, run_fig1
@@ -19,6 +20,7 @@ from .fig4_metadata import Fig4Config, aggregate_overheads, run_fig4
 from .fig7_class_sweep import Fig7Config, run_fig7, sparsity_for_class_count
 from .fig8_hardware import Fig8Config, aggregate_fig8, run_fig8
 from .headline import HeadlineConfig, run_headline
+from .serve_demo import ServeDemoConfig, print_serve_demo, run_serve_demo
 
 __all__ = [
     "ExperimentScale",
@@ -30,6 +32,7 @@ __all__ = [
     "configure_backend",
     "format_table",
     "make_personalization_setup",
+    "make_service",
     "pretrained_universal_model",
     "Fig1Config",
     "run_fig1",
@@ -48,4 +51,7 @@ __all__ = [
     "run_fig8",
     "HeadlineConfig",
     "run_headline",
+    "ServeDemoConfig",
+    "run_serve_demo",
+    "print_serve_demo",
 ]

@@ -1,15 +1,20 @@
-"""Command-line entry point for regenerating the paper's figures.
+"""Command-line entry point: figure regeneration and the serving demo.
 
-Usage::
+Installed as the ``repro-experiments`` console script; also runnable as
+``python -m repro.experiments``.  Usage::
 
     python -m repro.experiments fig1          # accuracy vs N:M ratio
     python -m repro.experiments fig4 fig8     # several figures in one go
     python -m repro.experiments all           # every figure
     python -m repro.experiments --list        # available experiment names
     python -m repro.experiments --backend fast fig1   # vectorized backend
+    python -m repro.experiments serve         # multi-tenant serving replay
+    python -m repro.experiments serve --serve-users 3 --serve-requests 24
 
 Each experiment prints the same rows/series the corresponding paper figure
-reports (at the reduced scale documented in EXPERIMENTS.md).
+reports (at the reduced scale documented in EXPERIMENTS.md).  ``serve``
+personalizes several users through :mod:`repro.serve` and replays a mixed
+request stream per-request vs micro-batched.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from .fig4_metadata import aggregate_overheads, run_fig4
 from .fig7_class_sweep import run_fig7
 from .fig8_hardware import aggregate_fig8, run_fig8
 from .headline import run_headline
+from .serve_demo import ServeDemoConfig, print_serve_demo
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
 
@@ -65,6 +71,10 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "headline": _print_headline,
 }
 
+#: Every runnable command: the figure experiments plus the serving demo
+#: (which needs CLI flags, so it is dispatched outside the EXPERIMENTS map).
+ALL_COMMANDS = sorted([*EXPERIMENTS, "serve"])
+
 
 def run_experiment(name: str) -> None:
     """Run one named experiment and print its reproduced table."""
@@ -83,7 +93,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment names (fig1 fig2 fig3 fig4 fig7 fig8 headline) or 'all'",
+        help="experiment names (fig1 fig2 fig3 fig4 fig7 fig8 headline), "
+        "'serve' (multi-tenant serving replay), or 'all'",
     )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     parser.add_argument(
@@ -92,12 +103,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         default="reference",
         help="compute backend every kernel routes through (default: reference)",
     )
+    serve_group = parser.add_argument_group("serve options")
+    serve_group.add_argument(
+        "--serve-users", type=int, default=2, help="tenants to personalize (default: 2)"
+    )
+    serve_group.add_argument(
+        "--serve-requests", type=int, default=12, help="requests to replay (default: 12)"
+    )
+    serve_group.add_argument(
+        "--serve-capacity", type=int, default=2, help="engine cache capacity (default: 2)"
+    )
     args = parser.parse_args(argv)
 
     configure_backend(args.backend)
 
     if args.list:
-        for name in sorted(EXPERIMENTS):
+        for name in ALL_COMMANDS:
             print(name)
         return 0
 
@@ -106,14 +127,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.print_help()
         return 1
     if requested == ["all"]:
-        requested = sorted(EXPERIMENTS)
+        requested = ALL_COMMANDS
 
-    unknown = [name for name in requested if name not in EXPERIMENTS]
+    unknown = [name for name in requested if name not in ALL_COMMANDS]
     if unknown:
-        parser.error(f"unknown experiment(s): {unknown}; available: {sorted(EXPERIMENTS)}")
+        parser.error(f"unknown experiment(s): {unknown}; available: {ALL_COMMANDS}")
+
+    if "serve" in requested:
+        try:
+            serve_config = ServeDemoConfig(
+                users=args.serve_users,
+                requests=args.serve_requests,
+                cache_capacity=args.serve_capacity,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
 
     for name in requested:
-        run_experiment(name)
+        if name == "serve":
+            print("\n===== serve =====")
+            print_serve_demo(serve_config)
+        else:
+            run_experiment(name)
     return 0
 
 

@@ -17,15 +17,19 @@ reuse the same backbone do not retrain it for every point.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..data import DataLoader, SyntheticImageDataset, UserProfile, build_user_loaders, make_dataset, sample_user_profile
-from ..nn.models import build_model
 from ..nn.models.base import ClassifierModel
-from ..nn.trainer import TrainConfig, Trainer, evaluate
+from ..serve import (
+    EngineSpec,
+    PersonalizationService,
+    ServiceConfig,
+    clear_universal_model_cache,
+    restrict_head_to_classes,
+    universal_model,
+)
 
 __all__ = [
     "PersonalizationSetup",
@@ -35,6 +39,7 @@ __all__ = [
     "configure_backend",
     "pretrained_universal_model",
     "make_personalization_setup",
+    "make_service",
     "clone_model",
     "format_table",
     "clear_model_cache",
@@ -103,12 +108,9 @@ class PersonalizationSetup:
     universal_accuracy: float
 
 
-_MODEL_CACHE: Dict[Tuple, Tuple[ClassifierModel, float]] = {}
-
-
 def clear_model_cache() -> None:
     """Drop cached pre-trained universal models (used by tests)."""
-    _MODEL_CACHE.clear()
+    clear_universal_model_cache()
 
 
 def clone_model(model: ClassifierModel) -> ClassifierModel:
@@ -127,39 +129,52 @@ def pretrained_universal_model(
 
     Returns ``(model, validation_accuracy)``.  The cached model is never
     handed out directly — callers receive a deep copy so they can prune it.
+    The cache itself lives in the serving layer
+    (:func:`repro.serve.universal_model`) and is keyed by the full training
+    protocol, so experiments and a :class:`~repro.serve.PersonalizationService`
+    running the same protocol share one pre-trained backbone.
     """
-    from ..backend import active_backend
-
-    # The backend participates in the cache key: different backends may
-    # accumulate different floating-point round-off during training, and a
-    # cached model must be reproducible for the backend that trained it.
-    key = (
-        scale.name,
+    return universal_model(
         scale.model_name,
         scale.dataset_preset,
-        num_classes,
-        input_size,
-        seed,
-        active_backend().name,
+        scale.pretrain_epochs,
+        num_classes=num_classes,
+        input_size=input_size,
+        batch_size=scale.batch_size,
+        seed=seed,
+        dataset=dataset,
     )
-    if key not in _MODEL_CACHE:
-        dataset = dataset or make_dataset(scale.dataset_preset, seed=seed)
-        all_classes = list(range(num_classes))
-        train_x, train_y = dataset.split("train", classes=all_classes)
-        val_x, val_y = dataset.split("val", classes=all_classes)
-        train_loader = DataLoader(train_x, train_y, batch_size=scale.batch_size, seed=seed)
-        val_loader = DataLoader(val_x, val_y, batch_size=scale.batch_size, shuffle=False)
 
-        model = build_model(
-            scale.model_name, num_classes=num_classes, input_size=input_size, seed=seed
+
+def make_service(
+    scale: ExperimentScale,
+    cache_capacity: int = 4,
+    max_batch_size: Optional[int] = None,
+    engine: Optional[EngineSpec] = None,
+    seed: int = 0,
+) -> PersonalizationService:
+    """Build a :class:`~repro.serve.PersonalizationService` from an experiment scale.
+
+    This is the bridge the CLI's ``serve`` demo and the serving benchmarks
+    use: the scale's training protocol becomes the service's
+    personalization protocol, and the serving-specific knobs (engine spec,
+    cache capacity, micro-batch limit) ride on top.
+    """
+    return PersonalizationService(
+        ServiceConfig(
+            model_name=scale.model_name,
+            dataset_preset=scale.dataset_preset,
+            pretrain_epochs=scale.pretrain_epochs,
+            finetune_epochs=scale.finetune_epochs,
+            prune_iterations=scale.prune_iterations,
+            batch_size=scale.batch_size,
+            samples_per_class=scale.samples_per_class,
+            cache_capacity=cache_capacity,
+            max_batch_size=max_batch_size,
+            engine=engine or EngineSpec(),
+            seed=seed,
         )
-        trainer = Trainer(model, TrainConfig(epochs=scale.pretrain_epochs, lr=0.05))
-        trainer.fit(train_loader, val_loader=None)
-        accuracy = evaluate(model, iter(val_loader))
-        _MODEL_CACHE[key] = (model, accuracy)
-
-    cached_model, accuracy = _MODEL_CACHE[key]
-    return clone_model(cached_model), accuracy
+    )
 
 
 def make_personalization_setup(
@@ -193,21 +208,9 @@ def make_personalization_setup(
     )
 
     # Restrict the classifier head to the user's classes (rows of the weight
-    # matrix), keeping the backbone intact.
-    head = model.classifier
-    # VGG wraps its head in a Sequential; the last prunable Linear is the head.
-    from ..nn.layers import Linear
-    from ..nn.models.base import prunable_layers
-
-    linear_layers = [m for m in prunable_layers(model).values() if isinstance(m, Linear)]
-    final = linear_layers[-1] if linear_layers else head
-    if isinstance(final, Linear) and final.out_features == dataset.num_classes:
-        keep_rows = np.asarray(profile.preferred_classes)
-        final.weight.data = final.weight.data[keep_rows].copy()
-        if final.bias is not None:
-            final.bias.data = final.bias.data[keep_rows].copy()
-        final.out_features = len(keep_rows)
-    model.num_classes = profile.num_classes
+    # matrix), keeping the backbone intact — the same step the serving
+    # facade's personalization path performs.
+    restrict_head_to_classes(model, profile.preferred_classes, dataset.num_classes)
 
     return PersonalizationSetup(
         dataset=dataset,

@@ -11,6 +11,7 @@ from .workload import (
     resnet50_reference_layers,
     workloads_from_engine,
     workloads_from_model,
+    workloads_from_service,
 )
 from .accelerator import Accelerator, AcceleratorSpec, EDGE_SPEC, LayerPerformance
 from .dense import DenseAccelerator
@@ -32,6 +33,7 @@ __all__ = [
     "resnet50_reference_layers",
     "workloads_from_engine",
     "workloads_from_model",
+    "workloads_from_service",
     "Accelerator",
     "AcceleratorSpec",
     "EDGE_SPEC",

@@ -24,6 +24,7 @@ __all__ = [
     "LayerWorkload",
     "workloads_from_model",
     "workloads_from_engine",
+    "workloads_from_service",
     "resnet50_reference_layers",
 ]
 
@@ -250,14 +251,39 @@ def workloads_from_engine(
     bridge that lets experiments drive the hardware model and the inference
     engine from one object.
     """
-    block_size = engine.block_size if engine.weight_format in ("blocked-ellpack", "crisp") else None
+    spec = engine.spec
+    blocked = spec.weight_format in ("blocked-ellpack", "crisp")
+    # Only the CRISP format guarantees the fine-grained N:M structure; for
+    # dense/CSR/blocked-ELLPACK engines the spec's n:m is incidental, and
+    # crediting it would let the accelerator models assume a speedup the
+    # weights do not satisfy.
+    nm_structured = spec.weight_format == "crisp"
     return workloads_from_model(
         engine.module,
         batch=batch,
         activation_density=activation_density,
-        n=engine.n,
-        m=engine.m,
-        block_size=block_size,
+        n=spec.n if nm_structured else None,
+        m=spec.m if nm_structured else None,
+        block_size=spec.block_size if blocked else None,
+    )
+
+
+def workloads_from_service(
+    service,
+    model_id: str,
+    batch: int = 1,
+    activation_density: float = 0.6,
+) -> List[LayerWorkload]:
+    """Extract workloads for one registered tenant of a serving facade.
+
+    Goes through the :class:`~repro.serve.PersonalizationService` engine
+    cache, so hardware-model sweeps over a fleet of personalized tenants
+    reuse the same materialized engines as the inference traffic they are
+    modelling.
+    """
+    engine = service.engine(model_id)
+    return workloads_from_engine(
+        engine, batch=batch, activation_density=activation_density
     )
 
 

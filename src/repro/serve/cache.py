@@ -1,0 +1,85 @@
+"""Multi-tenant engine cache: LRU over lazily materialized engines.
+
+Materializing an :class:`~repro.backend.engine.Engine` is the expensive part
+of serving a tenant — the module is rebuilt from the registry and every
+prunable layer's weight re-encoded into its compressed format.  The cache
+amortises that cost across requests: the first request for a model id pays
+the build, subsequent requests reuse the attached engine, and a bounded
+capacity keeps memory proportional to the number of *hot* tenants rather
+than the number of registered ones (the paper's millions-of-users setting).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List
+
+from .registry import ModelRegistry
+
+__all__ = ["EngineCache"]
+
+
+class EngineCache:
+    """Capacity-bounded LRU cache of per-tenant inference engines."""
+
+    def __init__(self, registry: ModelRegistry, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.registry = registry
+        self.capacity = capacity
+        self._engines: "OrderedDict[str, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, model_id: str):
+        """Return the engine for ``model_id``, building it on first use.
+
+        Touching an entry makes it most-recently-used; inserting beyond
+        capacity evicts (and detaches) the least-recently-used engine.
+        """
+        if model_id in self._engines:
+            self.hits += 1
+            self._engines.move_to_end(model_id)
+            return self._engines[model_id]
+        self.misses += 1
+        engine = self.registry.build_engine(model_id)
+        self._engines[model_id] = engine
+        while len(self._engines) > self.capacity:
+            _, evicted = self._engines.popitem(last=False)
+            evicted.detach()
+            self.evictions += 1
+        return engine
+
+    def evict(self, model_id: str) -> bool:
+        """Drop one entry (detaching its engine); returns whether it existed."""
+        engine = self._engines.pop(model_id, None)
+        if engine is None:
+            return False
+        engine.detach()
+        self.evictions += 1
+        return True
+
+    def clear(self) -> None:
+        """Detach and drop every cached engine (counted as evictions)."""
+        for model_id in list(self._engines):
+            self.evict(model_id)
+
+    def cached_ids(self) -> List[str]:
+        """Model ids currently resident, least-recently-used first."""
+        return list(self._engines)
+
+    def __contains__(self, model_id: str) -> bool:
+        return model_id in self._engines
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "resident": len(self._engines),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

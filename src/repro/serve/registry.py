@@ -1,0 +1,203 @@
+"""Model registry: pruned models stored under stable, addressable ids.
+
+The registry is the serving system's source of truth.  Each entry couples a
+model's weights (including pruning masks and batch-norm buffers) with the
+:class:`~repro.serve.types.EngineSpec` needed to serve it and enough
+architecture metadata to rebuild the module from the model zoo.
+
+Ids are *stable*: registering the same user profile with the same
+architecture and spec always produces the same id, so a request stream
+recorded against one registry replays against a reloaded copy.
+
+On-disk layout (one directory per model)::
+
+    <root>/
+      <model_id>/
+        record.json   # arch, num classes, spec, profile, metadata
+        state.npz     # parameter data, masks, buffers (Module.state_dict)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data.loader import UserProfile
+from ..nn.models import build_model
+from ..nn.module import Module
+from .types import EngineSpec
+
+__all__ = ["ModelRecord", "ModelRegistry"]
+
+
+@dataclass
+class ModelRecord:
+    """One registered model: weights + serving spec + provenance."""
+
+    model_id: str
+    arch: str
+    num_classes: int
+    input_size: int
+    spec: EngineSpec
+    state: Dict[str, np.ndarray]
+    profile: Optional[UserProfile] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def build_module(self) -> Module:
+        """Rebuild the module from the zoo and load the stored weights."""
+        module = build_model(
+            self.arch, num_classes=self.num_classes, input_size=self.input_size, seed=0
+        )
+        module.load_state_dict(self.state)
+        return module
+
+    def record_dict(self) -> Dict:
+        """JSON-serializable half of the record (weights live in ``state.npz``)."""
+        return {
+            "model_id": self.model_id,
+            "arch": self.arch,
+            "num_classes": self.num_classes,
+            "input_size": self.input_size,
+            "spec": self.spec.to_dict(),
+            "profile": None
+            if self.profile is None
+            else {
+                "user_id": self.profile.user_id,
+                "preferred_classes": list(self.profile.preferred_classes),
+            },
+            "metadata": self.metadata,
+        }
+
+
+def _stable_model_id(arch: str, spec: EngineSpec, profile: Optional[UserProfile]) -> str:
+    """Deterministic id from (architecture, spec, user profile)."""
+    payload = {"arch": arch, "spec": spec.to_dict()}
+    if profile is not None:
+        payload["profile"] = {
+            "user_id": profile.user_id,
+            "preferred_classes": list(profile.preferred_classes),
+        }
+    digest = hashlib.sha1(json.dumps(payload, sort_keys=True).encode()).hexdigest()[:8]
+    user = f"u{profile.user_id}-" if profile is not None else ""
+    return f"{arch}-{user}{digest}"
+
+
+class ModelRegistry:
+    """In-memory registry of pruned models with directory persistence."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, ModelRecord] = {}
+
+    # -- registration ---------------------------------------------------------
+    def register(
+        self,
+        module: Module,
+        spec: Optional[EngineSpec] = None,
+        model_id: Optional[str] = None,
+        profile: Optional[UserProfile] = None,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Store a (pruned) module under a stable id and return the id.
+
+        The id is the *tenant address*, derived from (architecture, spec,
+        profile) only — deliberately not from pruning hyper-parameters.
+        Re-registering the same address overwrites the stored weights, which
+        is how a tenant's model gets refreshed in place (re-personalization
+        with a new sparsity target updates the model behind the same id;
+        ``metadata`` records which settings produced the current weights).
+        Pass an explicit ``model_id`` to keep several variants of one
+        profile side by side.
+        """
+        arch = getattr(module, "arch_name", type(module).__name__.lower())
+        spec = spec or EngineSpec()
+        if model_id is None:
+            model_id = _stable_model_id(arch, spec, profile)
+        record = ModelRecord(
+            model_id=model_id,
+            arch=arch,
+            num_classes=int(getattr(module, "num_classes", 0)),
+            input_size=int(getattr(module, "input_size", 0)),
+            spec=spec,
+            state=module.state_dict(),
+            profile=profile,
+            metadata=dict(metadata or {}),
+        )
+        self._records[model_id] = record
+        return model_id
+
+    def unregister(self, model_id: str) -> None:
+        self._records.pop(model_id, None)
+
+    # -- lookup ---------------------------------------------------------------
+    def get(self, model_id: str) -> ModelRecord:
+        if model_id not in self._records:
+            raise KeyError(f"Unknown model id {model_id!r}; registered: {self.ids()}")
+        return self._records[model_id]
+
+    def ids(self) -> List[str]:
+        return sorted(self._records)
+
+    def __contains__(self, model_id: str) -> bool:
+        return model_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- materialization ------------------------------------------------------
+    def materialize(self, model_id: str) -> Module:
+        """Rebuild the stored module (a fresh instance on every call)."""
+        return self.get(model_id).build_module()
+
+    def build_engine(self, model_id: str, attach: bool = True):
+        """Materialize the module and wrap it in an engine per its spec."""
+        record = self.get(model_id)
+        return record.spec.build(record.build_module(), attach=attach)
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, root) -> Path:
+        """Write every record under ``root`` (one subdirectory per model)."""
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        for model_id, record in self._records.items():
+            model_dir = root / model_id
+            model_dir.mkdir(parents=True, exist_ok=True)
+            (model_dir / "record.json").write_text(
+                json.dumps(record.record_dict(), indent=2, sort_keys=True)
+            )
+            np.savez(model_dir / "state.npz", **record.state)
+        return root
+
+    @classmethod
+    def load(cls, root) -> "ModelRegistry":
+        """Load a registry from the directory layout written by :meth:`save`."""
+        root = Path(root)
+        if not root.is_dir():
+            raise FileNotFoundError(f"Registry directory {root} does not exist")
+        registry = cls()
+        for record_path in sorted(root.glob("*/record.json")):
+            payload = json.loads(record_path.read_text())
+            with np.load(record_path.parent / "state.npz") as npz:
+                state = {key: npz[key].copy() for key in npz.files}
+            profile = None
+            if payload.get("profile") is not None:
+                profile = UserProfile(
+                    user_id=int(payload["profile"]["user_id"]),
+                    preferred_classes=[int(c) for c in payload["profile"]["preferred_classes"]],
+                )
+            record = ModelRecord(
+                model_id=payload["model_id"],
+                arch=payload["arch"],
+                num_classes=int(payload["num_classes"]),
+                input_size=int(payload["input_size"]),
+                spec=EngineSpec.from_dict(payload["spec"]),
+                state=state,
+                profile=profile,
+                metadata=payload.get("metadata", {}),
+            )
+            registry._records[record.model_id] = record
+        return registry

@@ -1,0 +1,96 @@
+"""Micro-batching scheduler: fuse per-tenant request groups into one dispatch.
+
+Aggregated inference traffic interleaves requests for many tenants.  The
+scheduler accepts :class:`~repro.serve.types.PredictRequest`s in arrival
+order, groups the queue by model id at flush time, and answers each group
+with a single fused :meth:`~repro.backend.engine.Engine.predict_many` call —
+one engine lookup and one forward pass per tenant instead of one per
+request.  Responses come back in submission order regardless of grouping.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
+
+from .cache import EngineCache
+from .types import PredictRequest, PredictResponse
+
+__all__ = ["BatchScheduler"]
+
+
+class BatchScheduler:
+    """Queue requests across tenants and dispatch them in fused groups."""
+
+    def __init__(self, cache: EngineCache, max_batch_size: Optional[int] = None) -> None:
+        if max_batch_size is not None and max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        self.cache = cache
+        self.max_batch_size = max_batch_size
+        self._queue: List[PredictRequest] = []
+        self._next_id = 0
+        self.requests_served = 0
+        self.dispatches = 0
+        self.largest_group = 0
+
+    def submit(self, request: PredictRequest) -> str:
+        """Enqueue one request, assigning a request id if it has none."""
+        if request.request_id is None:
+            request.request_id = f"req-{self._next_id:06d}"
+        self._next_id += 1
+        self._queue.append(request)
+        return request.request_id
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def flush(self) -> List[PredictResponse]:
+        """Dispatch the queue grouped by tenant; responses in submission order.
+
+        Groups keep their first-arrival order, so engine-cache LRU pressure
+        follows traffic order.  ``max_batch_size`` (in requests) splits very
+        large groups so one hot tenant cannot starve the rest of a flush.
+        """
+        queue, self._queue = self._queue, []
+        if not queue:
+            return []
+
+        groups: "OrderedDict[str, List[int]]" = OrderedDict()
+        for index, request in enumerate(queue):
+            groups.setdefault(request.model_id, []).append(index)
+
+        responses: List[Optional[PredictResponse]] = [None] * len(queue)
+        for model_id, indices in groups.items():
+            engine = self.cache.get(model_id)
+            limit = self.max_batch_size or len(indices)
+            for start in range(0, len(indices), limit):
+                chunk = indices[start : start + limit]
+                outputs = engine.predict_many([queue[i].inputs for i in chunk])
+                self.dispatches += 1
+                self.largest_group = max(self.largest_group, len(chunk))
+                for index, logits in zip(chunk, outputs):
+                    responses[index] = PredictResponse(
+                        request_id=queue[index].request_id,
+                        model_id=model_id,
+                        logits=logits,
+                        classes=logits.argmax(axis=1),
+                        batched_with=len(chunk),
+                    )
+        self.requests_served += len(queue)
+        return [r for r in responses if r is not None]
+
+    def dispatch(self, requests: Sequence[PredictRequest]) -> List[PredictResponse]:
+        """Submit many requests and flush them in one call."""
+        for request in requests:
+            self.submit(request)
+        return self.flush()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "pending": self.pending,
+            "requests_served": self.requests_served,
+            "dispatches": self.dispatches,
+            "largest_group": self.largest_group,
+            "max_batch_size": self.max_batch_size,
+        }

@@ -1,0 +1,329 @@
+"""The serving facade: CRISP pruning → registry → engine cache → scheduler.
+
+:class:`PersonalizationService` is the canonical top-level API of the
+reproduction.  One call personalizes a model for a user profile
+(:meth:`~PersonalizationService.personalize` → stable model id), and one
+call answers inference traffic against any registered id
+(:meth:`~PersonalizationService.predict` /
+:meth:`~PersonalizationService.predict_batch`), with engines cached per
+tenant and mixed-tenant batches micro-batched by the scheduler.
+
+The module also owns the *universal model provider* — pre-training and
+caching of the shared backbone each personalization starts from — which the
+experiment harness (:mod:`repro.experiments.common`) consumes through the
+same functions.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..data import (
+    DataLoader,
+    SyntheticImageDataset,
+    UserProfile,
+    build_user_loaders,
+    make_dataset,
+    sample_user_profile,
+)
+from ..nn.models import build_model
+from ..nn.models.base import ClassifierModel, prunable_layers
+from ..nn.trainer import TrainConfig, Trainer, evaluate
+from ..pruning import CRISPConfig, crisp_prune
+from .cache import EngineCache
+from .registry import ModelRegistry
+from .scheduler import BatchScheduler
+from .types import EngineSpec, PersonalizeRequest, PredictRequest, PredictResponse
+
+__all__ = [
+    "ServiceConfig",
+    "PersonalizationService",
+    "universal_model",
+    "clear_universal_model_cache",
+    "restrict_head_to_classes",
+]
+
+
+# ---------------------------------------------------------------------------
+# Universal model provider (shared backbone pre-training, cached per config)
+# ---------------------------------------------------------------------------
+
+_UNIVERSAL_CACHE: Dict[Tuple, Tuple[ClassifierModel, float]] = {}
+
+
+def clear_universal_model_cache() -> None:
+    """Drop every cached pre-trained universal model (used by tests)."""
+    _UNIVERSAL_CACHE.clear()
+
+
+def universal_model(
+    model_name: str,
+    dataset_preset: str,
+    pretrain_epochs: int,
+    num_classes: int,
+    input_size: int,
+    batch_size: int = 16,
+    seed: int = 0,
+    dataset: Optional[SyntheticImageDataset] = None,
+) -> Tuple[ClassifierModel, float]:
+    """Train (or fetch from cache) the universal model personalization starts from.
+
+    Returns ``(model, validation_accuracy)``.  The cached instance is never
+    handed out directly — callers receive a deep copy they can prune.  The
+    key contains every parameter of the training protocol, so experiments
+    and services with the same protocol share one pre-trained backbone.
+    """
+    from ..backend import active_backend
+
+    # The backend participates in the cache key: different backends may
+    # accumulate different floating-point round-off during training, and a
+    # cached model must be reproducible for the backend that trained it.
+    key = (
+        model_name,
+        dataset_preset,
+        pretrain_epochs,
+        num_classes,
+        input_size,
+        batch_size,
+        seed,
+        active_backend().name,
+    )
+    if key not in _UNIVERSAL_CACHE:
+        dataset = dataset or make_dataset(dataset_preset, seed=seed)
+        all_classes = list(range(num_classes))
+        train_x, train_y = dataset.split("train", classes=all_classes)
+        val_x, val_y = dataset.split("val", classes=all_classes)
+        train_loader = DataLoader(train_x, train_y, batch_size=batch_size, seed=seed)
+        val_loader = DataLoader(val_x, val_y, batch_size=batch_size, shuffle=False)
+
+        model = build_model(model_name, num_classes=num_classes, input_size=input_size, seed=seed)
+        trainer = Trainer(model, TrainConfig(epochs=pretrain_epochs, lr=0.05))
+        trainer.fit(train_loader, val_loader=None)
+        accuracy = evaluate(model, iter(val_loader))
+        _UNIVERSAL_CACHE[key] = (model, accuracy)
+
+    cached_model, accuracy = _UNIVERSAL_CACHE[key]
+    return copy.deepcopy(cached_model), accuracy
+
+
+def restrict_head_to_classes(
+    model: ClassifierModel, preferred_classes: Sequence[int], total_classes: int
+) -> None:
+    """Shrink the classification head to a user's preferred classes, in place.
+
+    Keeps only the head rows of the preferred classes — the "focus the model
+    on the classes the user sees" step the paper performs before pruning.
+    The backbone is untouched.
+    """
+    from ..nn.layers import Linear
+
+    # VGG wraps its head in a Sequential; the last prunable Linear is the head.
+    linear_layers = [m for m in prunable_layers(model).values() if isinstance(m, Linear)]
+    final = linear_layers[-1] if linear_layers else model.classifier
+    if isinstance(final, Linear) and final.out_features == total_classes:
+        keep_rows = np.asarray(list(preferred_classes))
+        final.weight.data = final.weight.data[keep_rows].copy()
+        if final.bias is not None:
+            final.bias.data = final.bias.data[keep_rows].copy()
+        final.out_features = len(keep_rows)
+    model.num_classes = len(preferred_classes)
+
+
+# ---------------------------------------------------------------------------
+# The facade
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServiceConfig:
+    """Deployment-level knobs of a :class:`PersonalizationService`.
+
+    The training-protocol fields mirror
+    :class:`~repro.experiments.common.ExperimentScale` so an experiment scale
+    converts directly into a service (see
+    :func:`repro.experiments.common.make_service`).
+    """
+
+    model_name: str = "resnet_tiny"
+    dataset_preset: str = "synthetic-tiny"
+    pretrain_epochs: int = 2
+    finetune_epochs: int = 1
+    prune_iterations: int = 2
+    batch_size: int = 16
+    samples_per_class: Optional[int] = None
+    cache_capacity: int = 4
+    max_batch_size: Optional[int] = None
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    seed: int = 0
+
+
+class PersonalizationService:
+    """End-to-end multi-tenant serving: personalize, register, cache, batch.
+
+    Example
+    -------
+    >>> service = PersonalizationService(ServiceConfig(cache_capacity=2))
+    >>> model_id = service.personalize(PersonalizeRequest(user_id=0, num_classes=3))
+    >>> response = service.predict(model_id, batch)
+    >>> responses = service.predict_batch(mixed_tenant_requests)
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        registry: Optional[ModelRegistry] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = registry or ModelRegistry()
+        self.cache = EngineCache(self.registry, capacity=self.config.cache_capacity)
+        self.scheduler = BatchScheduler(self.cache, max_batch_size=self.config.max_batch_size)
+        self._datasets: Dict[int, SyntheticImageDataset] = {}
+
+    # -- data -----------------------------------------------------------------
+    def dataset(self, seed: Optional[int] = None) -> SyntheticImageDataset:
+        """The service's dataset (cached per seed)."""
+        seed = self.config.seed if seed is None else seed
+        if seed not in self._datasets:
+            self._datasets[seed] = make_dataset(self.config.dataset_preset, seed=seed)
+        return self._datasets[seed]
+
+    def _resolve_profile(self, request: PersonalizeRequest) -> UserProfile:
+        if request.preferred_classes is not None:
+            return UserProfile(
+                user_id=request.user_id,
+                preferred_classes=sorted(request.preferred_classes),
+            )
+        dataset = self.dataset(request.seed)
+        return sample_user_profile(
+            dataset,
+            request.num_classes,
+            user_id=request.user_id,
+            seed=request.seed + request.user_id,
+        )
+
+    # -- personalization ------------------------------------------------------
+    def personalize(
+        self, request: Union[PersonalizeRequest, UserProfile], **overrides
+    ) -> str:
+        """Build, prune and register a model for one user; return its model id.
+
+        Accepts either a full :class:`PersonalizeRequest` or a bare
+        :class:`~repro.data.UserProfile` (keyword overrides then feed the
+        request, e.g. ``target_sparsity=0.9``).  The pipeline is the paper's:
+        pre-trained universal model → head restricted to the user's classes →
+        CRISP pruning on the user's data → registry entry with the engine
+        spec the weights were pruned for.
+
+        Model ids are stable per (architecture, engine spec, profile):
+        personalizing the same profile again — even with different pruning
+        settings — refreshes the tenant's model *in place* under the same
+        id (and evicts any cached engine so stale weights are never
+        served).  The registry metadata records the settings behind the
+        current weights.
+        """
+        if isinstance(request, UserProfile):
+            request = PersonalizeRequest(
+                user_id=request.user_id,
+                preferred_classes=list(request.preferred_classes),
+                **overrides,
+            )
+        elif overrides:
+            raise TypeError("keyword overrides are only valid with a UserProfile")
+
+        config = self.config
+        dataset = self.dataset(request.seed)
+        profile = self._resolve_profile(request)
+
+        model, universal_accuracy = universal_model(
+            config.model_name,
+            config.dataset_preset,
+            config.pretrain_epochs,
+            num_classes=dataset.num_classes,
+            input_size=dataset.image_size,
+            batch_size=config.batch_size,
+            seed=request.seed,
+            dataset=dataset,
+        )
+        restrict_head_to_classes(model, profile.preferred_classes, dataset.num_classes)
+
+        train_loader, val_loader = build_user_loaders(
+            dataset,
+            profile,
+            batch_size=config.batch_size,
+            samples_per_class=config.samples_per_class,
+            seed=request.seed,
+        )
+
+        spec = request.engine or config.engine
+        result = crisp_prune(
+            model,
+            train_loader,
+            val_loader,
+            CRISPConfig(
+                n=spec.n,
+                m=spec.m,
+                block_size=spec.block_size,
+                target_sparsity=request.target_sparsity,
+                iterations=request.iterations or config.prune_iterations,
+                finetune_epochs=(
+                    request.finetune_epochs
+                    if request.finetune_epochs is not None
+                    else config.finetune_epochs
+                ),
+                seed=request.seed,
+            ),
+        )
+
+        model_id = self.registry.register(
+            model,
+            spec=spec,
+            profile=profile,
+            metadata={
+                "target_sparsity": request.target_sparsity,
+                "achieved_sparsity": result.final_sparsity,
+                "accuracy": result.final_accuracy,
+                "universal_accuracy": universal_accuracy,
+            },
+        )
+        # A re-personalized tenant must not be served stale weights.
+        self.cache.evict(model_id)
+        return model_id
+
+    # -- inference ------------------------------------------------------------
+    def engine(self, model_id: str):
+        """The (cached) inference engine serving ``model_id``."""
+        return self.cache.get(model_id)
+
+    def predict(
+        self, model_id: str, batch: np.ndarray, request_id: Optional[str] = None
+    ) -> PredictResponse:
+        """Answer a single request (one tenant, one batch)."""
+        return self.predict_batch([PredictRequest(model_id, batch, request_id)])[0]
+
+    def predict_batch(self, requests: Sequence[PredictRequest]) -> List[PredictResponse]:
+        """Answer a mixed-tenant request batch through the micro-batching scheduler."""
+        return self.scheduler.dispatch(requests)
+
+    # -- introspection / persistence ------------------------------------------
+    def model_ids(self) -> List[str]:
+        return self.registry.ids()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "models": len(self.registry),
+            "cache": self.cache.stats(),
+            "scheduler": self.scheduler.stats(),
+        }
+
+    def save(self, root) -> None:
+        """Persist every registered model under ``root`` (registry layout)."""
+        self.registry.save(root)
+
+    @classmethod
+    def load(cls, root, config: Optional[ServiceConfig] = None) -> "PersonalizationService":
+        """Rebuild a service over a registry directory written by :meth:`save`."""
+        return cls(config=config, registry=ModelRegistry.load(root))

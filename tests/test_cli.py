@@ -12,7 +12,7 @@ class TestCLI:
     def test_list_flag(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
-        for name in EXPERIMENTS:
+        for name in [*EXPERIMENTS, "serve"]:
             assert name in out
 
     def test_no_arguments_shows_help(self, capsys):
@@ -40,3 +40,13 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "crisp-stc-b64" in out
         assert "speedup_vs_dense" in out
+
+    def test_run_serve_via_cli(self, capsys):
+        from repro.experiments.common import clear_model_cache
+
+        assert main(["serve", "--serve-requests", "4"]) == 0
+        clear_model_cache()
+        out = capsys.readouterr().out
+        assert "tenants:" in out
+        assert "micro-batched" in out
+        assert "identical predictions" in out

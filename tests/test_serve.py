@@ -1,0 +1,352 @@
+"""Tests for the multi-tenant serving layer (:mod:`repro.serve`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import Engine
+from repro.experiments.common import TINY_SCALE, make_service
+from repro.nn.models import build_model
+from repro.nn.models.base import prunable_layers
+from repro.serve import (
+    BatchScheduler,
+    EngineCache,
+    EngineSpec,
+    ModelRegistry,
+    PersonalizationService,
+    PersonalizeRequest,
+    PredictRequest,
+    PredictResponse,
+    ServiceConfig,
+)
+
+SPEC = EngineSpec(backend="fast", weight_format="csr")
+
+
+def _sparsified_model(seed=0, num_classes=6, input_size=12):
+    """A tiny model with magnitude masks installed (no training needed)."""
+    model = build_model("resnet_tiny", num_classes=num_classes, input_size=input_size, seed=seed)
+    for layer in prunable_layers(model).values():
+        w = layer.weight.data
+        layer.weight.set_mask((np.abs(w) >= np.quantile(np.abs(w), 0.7)).astype(np.float64))
+    return model
+
+
+def _registry_with(*seeds):
+    registry = ModelRegistry()
+    ids = [
+        registry.register(_sparsified_model(seed=s), spec=SPEC, model_id=f"tenant-{s}")
+        for s in seeds
+    ]
+    return registry, ids
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.normal(size=(4, 3, 12, 12))
+
+
+class TestTypes:
+    def test_engine_spec_round_trip(self):
+        spec = EngineSpec(backend="reference", weight_format="blocked-ellpack", n=1, m=4, block_size=8)
+        assert EngineSpec.from_json(spec.to_json()) == spec
+
+    def test_engine_spec_validates(self):
+        with pytest.raises(ValueError):
+            EngineSpec(weight_format="coo")
+        with pytest.raises(ValueError):
+            EngineSpec(n=3, m=2)
+
+    def test_personalize_request_round_trip(self):
+        request = PersonalizeRequest(
+            user_id=7, preferred_classes=[2, 5, 9], target_sparsity=0.9,
+            engine=EngineSpec(block_size=8),
+        )
+        assert PersonalizeRequest.from_json(request.to_json()) == request
+
+    def test_personalize_request_needs_classes(self):
+        with pytest.raises(ValueError):
+            PersonalizeRequest(user_id=0)
+
+    def test_predict_request_round_trip(self, batch):
+        request = PredictRequest("m1", batch, request_id="r1")
+        restored = PredictRequest.from_json(request.to_json())
+        assert restored.model_id == "m1" and restored.request_id == "r1"
+        np.testing.assert_allclose(restored.inputs, batch)
+
+    def test_predict_request_promotes_single_image(self, batch):
+        assert PredictRequest("m1", batch[0]).inputs.shape == (1, 3, 12, 12)
+
+    def test_predict_response_round_trip(self, rng):
+        logits = rng.normal(size=(4, 6))
+        response = PredictResponse("r1", "m1", logits, logits.argmax(axis=1), batched_with=3)
+        restored = PredictResponse.from_json(response.to_json())
+        np.testing.assert_allclose(restored.logits, logits)
+        np.testing.assert_array_equal(restored.classes, logits.argmax(axis=1))
+        assert restored.batched_with == 3
+
+    def test_engine_spec_build_and_engine_spec_agree(self, batch):
+        model = _sparsified_model()
+        engine = SPEC.build(model)
+        assert engine.spec == SPEC
+        engine.detach()
+        assert Engine.from_spec(model, SPEC, attach=False).spec == SPEC
+
+
+class TestModelRegistry:
+    def test_materialized_model_reproduces_predictions(self, batch):
+        model = _sparsified_model()
+        registry = ModelRegistry()
+        model_id = registry.register(model, spec=SPEC)
+        expected = SPEC.build(model).predict(batch)
+        rebuilt = registry.build_engine(model_id)
+        np.testing.assert_allclose(rebuilt.predict(batch), expected, atol=1e-10)
+
+    def test_stable_ids(self):
+        from repro.data import UserProfile
+
+        profile = UserProfile(user_id=3, preferred_classes=[1, 4])
+        registry = ModelRegistry()
+        id_a = registry.register(_sparsified_model(seed=0), spec=SPEC, profile=profile)
+        id_b = registry.register(_sparsified_model(seed=1), spec=SPEC, profile=profile)
+        assert id_a == id_b  # same (arch, spec, profile) -> same address
+        assert "u3" in id_a
+        other = UserProfile(user_id=4, preferred_classes=[1, 4])
+        assert registry.register(_sparsified_model(), spec=SPEC, profile=other) != id_a
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            ModelRegistry().get("nope")
+
+    def test_save_load_round_trip(self, tmp_path, batch):
+        registry, (model_id,) = _registry_with(0)
+        registry.get(model_id).metadata["accuracy"] = 0.75
+        expected = registry.build_engine(model_id).predict(batch)
+        registry.save(tmp_path / "models")
+
+        reloaded = ModelRegistry.load(tmp_path / "models")
+        assert reloaded.ids() == [model_id]
+        record = reloaded.get(model_id)
+        assert record.spec == SPEC
+        assert record.metadata["accuracy"] == 0.75
+        np.testing.assert_allclose(
+            reloaded.build_engine(model_id).predict(batch), expected, atol=1e-10
+        )
+
+    def test_save_preserves_masks(self, tmp_path):
+        registry, (model_id,) = _registry_with(0)
+        registry.save(tmp_path / "models")
+        reloaded = ModelRegistry.load(tmp_path / "models")
+        module = reloaded.materialize(model_id)
+        masked = [l for l in prunable_layers(module).values() if l.weight.mask is not None]
+        assert masked, "pruning masks must survive the save/load round trip"
+
+
+class TestEngineCache:
+    def test_lru_eviction_capacity_one(self, batch):
+        registry, (id_a, id_b) = _registry_with(0, 1)
+        cache = EngineCache(registry, capacity=1)
+
+        engine_a = cache.get(id_a)
+        assert cache.get(id_a) is engine_a  # hit reuses the instance
+        cache.get(id_b)  # evicts id_a
+        assert id_a not in cache and id_b in cache
+        assert not engine_a.attached  # evicted engines are detached
+        assert cache.get(id_a) is not engine_a  # rebuilt on return
+        assert cache.stats() == {
+            "capacity": 1, "resident": 1, "hits": 1, "misses": 3, "evictions": 2,
+        }
+
+    def test_lru_order_follows_use(self):
+        registry, (id_a, id_b) = _registry_with(0, 1)
+        cache = EngineCache(registry, capacity=2)
+        cache.get(id_a)
+        cache.get(id_b)
+        cache.get(id_a)  # id_b is now least-recently-used
+        assert cache.cached_ids() == [id_b, id_a]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EngineCache(ModelRegistry(), capacity=0)
+
+
+class TestBatchScheduler:
+    def test_mixed_batch_grouped_and_ordered(self, rng):
+        registry, (id_a, id_b) = _registry_with(0, 1)
+        scheduler = BatchScheduler(EngineCache(registry, capacity=2))
+        inputs = [rng.normal(size=(2, 3, 12, 12)) for _ in range(4)]
+        requests = [
+            PredictRequest(id_a, inputs[0]),
+            PredictRequest(id_b, inputs[1]),
+            PredictRequest(id_a, inputs[2]),
+            PredictRequest(id_b, inputs[3]),
+        ]
+        responses = scheduler.dispatch(requests)
+
+        assert [r.request_id for r in responses] == [r.request_id for r in requests]
+        assert all(r.batched_with == 2 for r in responses)
+        assert scheduler.dispatches == 2  # one fused call per tenant
+
+        engine_a = registry.build_engine(id_a)
+        engine_b = registry.build_engine(id_b)
+        np.testing.assert_allclose(responses[0].logits, engine_a.predict(inputs[0]), atol=1e-10)
+        np.testing.assert_allclose(responses[2].logits, engine_a.predict(inputs[2]), atol=1e-10)
+        np.testing.assert_allclose(responses[1].logits, engine_b.predict(inputs[1]), atol=1e-10)
+        np.testing.assert_allclose(responses[3].logits, engine_b.predict(inputs[3]), atol=1e-10)
+        np.testing.assert_array_equal(responses[0].classes, responses[0].logits.argmax(axis=1))
+
+    def test_max_batch_size_splits_groups(self, rng):
+        registry, (id_a,) = _registry_with(0)
+        scheduler = BatchScheduler(EngineCache(registry, capacity=1), max_batch_size=2)
+        requests = [PredictRequest(id_a, rng.normal(size=(1, 3, 12, 12))) for _ in range(5)]
+        responses = scheduler.dispatch(requests)
+        assert scheduler.dispatches == 3  # 2 + 2 + 1
+        assert [r.batched_with for r in responses] == [2, 2, 2, 2, 1]
+
+    def test_flush_empty_queue(self):
+        registry, _ = _registry_with(0)
+        scheduler = BatchScheduler(EngineCache(registry, capacity=1))
+        assert scheduler.flush() == []
+
+
+class TestPersonalizationService:
+    """The acceptance-criteria round trip, at micro scale."""
+
+    @pytest.fixture(scope="class")
+    def service(self):
+        from repro.experiments.common import ExperimentScale, clear_model_cache
+
+        scale = ExperimentScale(
+            name="serve-micro",
+            dataset_preset="synthetic-tiny",
+            model_name="resnet_tiny",
+            pretrain_epochs=1,
+            finetune_epochs=1,
+            prune_iterations=1,
+        )
+        service = make_service(
+            scale, cache_capacity=1, engine=EngineSpec(block_size=8)
+        )
+        yield service
+        clear_model_cache()
+
+    @pytest.fixture(scope="class")
+    def model_ids(self, service):
+        spec = EngineSpec(block_size=8)
+        return [
+            service.personalize(
+                PersonalizeRequest(
+                    user_id=user_id, num_classes=3, target_sparsity=0.7, engine=spec
+                )
+            )
+            for user_id in range(2)
+        ]
+
+    def test_two_profiles_register_two_models(self, service, model_ids):
+        assert len(set(model_ids)) == 2
+        assert service.model_ids() == sorted(model_ids)
+        for model_id in model_ids:
+            record = service.registry.get(model_id)
+            assert record.metadata["achieved_sparsity"] > 0.5
+            assert record.profile is not None
+
+    def test_mixed_batch_answered_correctly_with_capacity_one(self, service, model_ids):
+        dataset = service.dataset()
+        streams = []
+        for model_id in model_ids:
+            profile = service.registry.get(model_id).profile
+            images, _ = dataset.split("val", classes=profile.preferred_classes)
+            streams.append(images)
+
+        requests = [
+            PredictRequest(model_ids[i % 2], streams[i % 2][2 * i : 2 * i + 2])
+            for i in range(4)
+        ]
+        responses = service.predict_batch(requests)
+
+        assert [r.model_id for r in responses] == [r.model_id for r in requests]
+        for model_id, stream_idx in zip(model_ids, range(2)):
+            engine = service.registry.build_engine(model_id)
+            for request, response in zip(requests, responses):
+                if request.model_id != model_id:
+                    continue
+                np.testing.assert_allclose(
+                    response.logits, engine.predict(request.inputs), atol=1e-10
+                )
+            engine.detach()
+
+        # Capacity-1 cache: serving two tenants must have evicted the LRU one.
+        stats = service.stats()
+        assert stats["cache"]["capacity"] == 1
+        assert stats["cache"]["evictions"] >= 1
+        assert len(service.cache) == 1
+
+    def test_single_predict_round_trip(self, service, model_ids, rng):
+        response = service.predict(model_ids[0], rng.normal(size=(2, 3, 12, 12)))
+        assert response.model_id == model_ids[0]
+        assert response.logits.shape == (2, 3)
+        assert response.classes.shape == (2,)
+
+    def test_engine_spec_falls_back_to_service_config(self, service, model_ids):
+        model_id = service.personalize(
+            PersonalizeRequest(user_id=9, num_classes=2, target_sparsity=0.7)
+        )
+        try:
+            # No engine on the request: the service's configured spec applies.
+            assert service.registry.get(model_id).spec == service.config.engine
+        finally:
+            service.registry.unregister(model_id)
+
+    def test_profile_personalize_shorthand(self, service, model_ids):
+        from repro.data import UserProfile
+
+        profile = service.registry.get(model_ids[0]).profile
+        again = service.personalize(
+            UserProfile(profile.user_id, list(profile.preferred_classes)),
+            target_sparsity=0.7,
+            engine=EngineSpec(block_size=8),
+        )
+        assert again == model_ids[0]  # stable id: same profile + spec
+        assert len(service.registry) == 2
+
+    def test_service_save_load(self, service, model_ids, tmp_path, rng):
+        batch = rng.normal(size=(2, 3, 12, 12))
+        expected = service.predict(model_ids[0], batch).logits
+        service.save(tmp_path / "fleet")
+        reloaded = PersonalizationService.load(tmp_path / "fleet")
+        assert reloaded.model_ids() == sorted(model_ids)
+        np.testing.assert_allclose(
+            reloaded.predict(model_ids[0], batch).logits, expected, atol=1e-10
+        )
+
+    def test_workloads_from_service(self, service, model_ids):
+        from repro.hw import workloads_from_service
+
+        workloads = workloads_from_service(service, model_ids[0], batch=2)
+        assert workloads
+        assert all(w.output_positions > 0 for w in workloads)
+        assert any(w.weight_density < 1.0 for w in workloads)
+
+
+class TestServeDemo:
+    def test_request_replay_demo(self, capsys):
+        from repro.experiments.serve_demo import ServeDemoConfig, run_serve_demo
+        from repro.experiments.common import ExperimentScale, clear_model_cache
+
+        scale = ExperimentScale(
+            name="demo-micro",
+            dataset_preset="synthetic-tiny",
+            model_name="resnet_tiny",
+            pretrain_epochs=1,
+            finetune_epochs=1,
+            prune_iterations=1,
+        )
+        report = run_serve_demo(
+            ServeDemoConfig(users=2, requests=6, scale=scale, target_sparsity=0.7)
+        )
+        clear_model_cache()
+        assert len(report["model_ids"]) == 2
+        assert len(report["rows"]) == 6
+        assert report["timings"]["per_request_s"] > 0
+        assert report["stats"]["scheduler"]["largest_group"] >= 2
