@@ -1,0 +1,218 @@
+"""Cluster throughput: sharded serving runtime vs the single-process facade.
+
+The scenario is the paper's millions-of-users setting scaled down: a fleet
+of personalized tenant models far larger than any one worker's engine-cache
+budget, receiving interleaved mixed-tenant traffic in arrival windows.  Both
+deployments get the *same memory budget per worker* (``--capacity`` cache
+slots):
+
+* **single** — one :class:`~repro.serve.PersonalizationService`; with more
+  hot tenants than cache slots, the LRU cache thrashes and every window
+  pays engine rebuilds (module + compressed-format re-encode);
+* **cluster** — a :class:`~repro.cluster.ClusterService` with ``--shards``
+  workers; consistent hashing partitions the tenants so each shard's slice
+  fits its cache and steady-state traffic is all cache hits.
+
+That locality is what the sharded runtime is *for*, and it is where the
+≥2x throughput on mixed-tenant replays comes from (an ``unbounded`` single
+service that magically fits every tenant is also measured as the no-thrash
+reference point).  Predictions are asserted identical across deployments.
+
+Run under pytest-benchmark for the tracked numbers::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cluster.py --benchmark-only
+
+or as a script (the CI smoke run)::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke --json BENCH_cluster.json
+"""
+
+import argparse
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterService
+from repro.serve import PersonalizationService, ServiceConfig
+
+from bench_serving import build_fleet, request_stream
+
+#: Fleet defaults: many tenants, bounded per-worker cache, windowed arrivals.
+TENANTS, REQUESTS, WINDOW, CAPACITY, SHARDS = 16, 96, 8, 4, 4
+
+
+def replay_windows(predict_batch, requests, window=WINDOW):
+    """Replay ``requests`` in arrival windows of ``window`` requests.
+
+    Windowed arrival is the realistic traffic shape: a burst lands, the
+    deployment answers it, the next burst lands.  One call per window keeps
+    the comparison fair — both deployments see identical bursts.
+    """
+    responses = []
+    for start in range(0, len(requests), window):
+        responses.extend(predict_batch(requests[start : start + window]))
+    return responses
+
+
+def make_single(registry, capacity):
+    """A single-process facade over the shared fleet registry."""
+    return PersonalizationService(
+        ServiceConfig(cache_capacity=capacity), registry=registry
+    )
+
+
+def make_cluster(registry, shards, capacity):
+    """A started sharded runtime over the same registry (same per-worker budget)."""
+    return ClusterService(
+        ClusterConfig(shards=shards, cache_capacity=capacity),
+        registry=registry,
+    )
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark harness
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def cluster_setup():
+    registry, model_ids, _ = build_fleet(tenants=TENANTS)
+    requests = request_stream(model_ids, requests=REQUESTS)
+    single = make_single(registry, CAPACITY)
+    cluster = make_cluster(registry, SHARDS, CAPACITY)
+    replay_windows(single.predict_batch, requests)  # warm (what fits, fits)
+    replay_windows(cluster.predict_batch, requests)
+    yield single, cluster, requests
+    cluster.shutdown()
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_single_bounded_dispatch(benchmark, cluster_setup):
+    single, _, requests = cluster_setup
+    responses = benchmark(replay_windows, single.predict_batch, requests)
+    assert len(responses) == len(requests)
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_cluster_dispatch(benchmark, cluster_setup):
+    _, cluster, requests = cluster_setup
+    responses = benchmark(replay_windows, cluster.predict_batch, requests)
+    assert len(responses) == len(requests)
+    assert all(r.status == 200 for r in responses)
+
+
+# ---------------------------------------------------------------------------
+# Script mode: the CI smoke run and the tracked JSON records
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    from benchlib import best_of, write_records
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tenants", type=int, default=TENANTS)
+    parser.add_argument("--requests", type=int, default=REQUESTS)
+    parser.add_argument("--window", type=int, default=WINDOW,
+                        help="requests per arrival burst")
+    parser.add_argument("--capacity", type=int, default=CAPACITY,
+                        help="engine-cache slots per worker (single AND per shard)")
+    parser.add_argument("--shards", type=int, default=SHARDS)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fleet, single timing repeat (fast CI sanity run)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write machine-readable BENCH_*.json records to PATH",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the cluster beats the bounded single "
+        "service by the target factor (timing-sensitive; off by default "
+        "so loaded CI machines don't flake)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        tenants, requests_n, window, capacity, shards = 4, 16, 4, 2, 2
+        repeat, target = 1, 1.0
+    else:
+        tenants, requests_n, window, capacity, shards = (
+            args.tenants, args.requests, args.window, args.capacity, args.shards,
+        )
+        repeat, target = 3, 2.0
+
+    registry, model_ids, spec = build_fleet(tenants=tenants)
+    requests = request_stream(model_ids, requests=requests_n)
+    single = make_single(registry, capacity)
+    unbounded = make_single(registry, tenants)  # no-thrash reference point
+    cluster = make_cluster(registry, shards, capacity)
+    try:
+        # Warm every deployment and pin prediction parity across all three.
+        base = replay_windows(single.predict_batch, requests, window)
+        full = replay_windows(unbounded.predict_batch, requests, window)
+        sharded = replay_windows(cluster.predict_batch, requests, window)
+        for a, b, c in zip(base, full, sharded):
+            np.testing.assert_array_equal(a.logits, b.logits)
+            np.testing.assert_array_equal(a.logits, c.logits)
+
+        t_single = best_of(replay_windows, single.predict_batch, requests, window,
+                           repeat=repeat)
+        t_unbounded = best_of(replay_windows, unbounded.predict_batch, requests, window,
+                              repeat=repeat)
+        t_cluster = best_of(replay_windows, cluster.predict_batch, requests, window,
+                            repeat=repeat)
+    finally:
+        cluster.shutdown()
+    speedup = t_single / t_cluster
+
+    print(
+        f"replaying {requests_n} single-image requests over {tenants} tenants "
+        f"in windows of {window} (resnet_tiny, {spec.weight_format} weights, "
+        f"{capacity} cache slots per worker)"
+    )
+    print(f"{'deployment':>22} | {'latency':>10} | {'requests/s':>10}")
+    print(f"{'single (bounded)':>22} | {t_single * 1e3:8.1f}ms | {requests_n / t_single:10.0f}")
+    print(f"{'single (unbounded)':>22} | {t_unbounded * 1e3:8.1f}ms | {requests_n / t_unbounded:10.0f}")
+    print(f"{f'cluster ({shards} shards)':>22} | {t_cluster * 1e3:8.1f}ms | {requests_n / t_cluster:10.0f}")
+    print(f"cluster speedup over bounded single service: {speedup:.2f}x")
+
+    if args.json:
+        write_records(
+            args.json,
+            "cluster_throughput",
+            {
+                "tenants": tenants,
+                "requests": requests_n,
+                "window": window,
+                "cache_capacity": capacity,
+                "shards": shards,
+                "weight_format": spec.weight_format,
+                "backend": spec.backend,
+                "smoke": args.smoke,
+            },
+            # Each record names its own deployment: the single-process
+            # replays are shard count 1 regardless of the config's shards.
+            [
+                {"name": "single_bounded_dispatch", "unit": "s", "value": t_single,
+                 "requests_per_s": requests_n / t_single, "shards": 1},
+                {"name": "single_unbounded_dispatch", "unit": "s", "value": t_unbounded,
+                 "requests_per_s": requests_n / t_unbounded, "shards": 1},
+                {"name": "cluster_dispatch", "unit": "s", "value": t_cluster,
+                 "requests_per_s": requests_n / t_cluster, "shards": shards},
+                {"name": "cluster_speedup", "unit": "x", "value": speedup,
+                 "shards": shards},
+            ],
+        )
+
+    if speedup < target:
+        message = (
+            f"cluster below target over bounded single service "
+            f"({speedup:.2f}x < {target:.1f}x)"
+        )
+        print(("FAIL: " if args.check else "below target (not enforced): ") + message)
+        return 1 if args.check else 0
+    print(f"ok: cluster >= {target:.1f}x bounded single-service throughput")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,9 +1,8 @@
 """Shared helpers for the benchmark scripts' script-mode (CI smoke) runs.
 
-Both ``bench_kernels.py`` and ``bench_serving.py`` import this module, which
-works from either entry point: running the script directly puts
-``benchmarks/`` on ``sys.path``, and pytest's rootdir insertion does the
-same when the files are collected.
+The benchmark scripts import this module, which works from either entry
+point: running a script directly puts ``benchmarks/`` on ``sys.path``, and
+pytest's rootdir insertion does the same when the files are collected.
 """
 
 import json
@@ -20,13 +19,40 @@ def best_of(fn, *args, repeat=3):
     return best
 
 
+def _record_metadata(config):
+    """Deployment metadata stamped into every record: backend + shard count.
+
+    The active compute backend and the shard count are the two knobs that
+    change what a number means across PRs, so each record carries them even
+    when the producing script didn't think to include them.  Single-process
+    benchmarks are shard count 1.
+    """
+    try:
+        from repro.backend import active_backend
+
+        backend = active_backend().name
+    except Exception:  # pragma: no cover - repro not importable
+        backend = None
+    shards = 1
+    if isinstance(config, dict):
+        backend = config.get("backend", backend)
+        shards = config.get("shards", 1)
+    return {"backend": backend, "shards": shards}
+
+
 def write_records(path, benchmark, config, records):
     """Write one machine-readable BENCH_*.json payload and announce it.
 
     The schema is shared by every benchmark script so the perf trajectory
     can be tracked across PRs: ``{"benchmark", "config", "records"}`` with
-    each record carrying at least ``name``, ``unit`` and ``value``.
+    each record carrying at least ``name``, ``unit`` and ``value`` plus the
+    stamped ``backend``/``shards`` deployment metadata (records that already
+    set either key keep their own value).
     """
+    metadata = _record_metadata(config)
+    for record in records:
+        for key, value in metadata.items():
+            record.setdefault(key, value)
     payload = {"benchmark": benchmark, "config": config, "records": records}
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2)

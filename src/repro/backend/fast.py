@@ -18,6 +18,7 @@ be bit-exact because vectorized reductions may re-associate sums.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -59,24 +60,29 @@ class WorkspaceCache:
     def __init__(self, max_buffers: int = 64) -> None:
         self.max_buffers = max_buffers
         self._buffers: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        # Callers key buffers per thread, but the table itself is shared —
+        # concurrent serving shards insert/evict under one lock.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: tuple, shape: Tuple[int, ...], dtype) -> np.ndarray:
-        buf = self._buffers.get(key)
-        if buf is not None and buf.shape == shape and buf.dtype == np.dtype(dtype):
-            self.hits += 1
-            self._buffers.move_to_end(key)
+        with self._lock:
+            buf = self._buffers.get(key)
+            if buf is not None and buf.shape == shape and buf.dtype == np.dtype(dtype):
+                self.hits += 1
+                self._buffers.move_to_end(key)
+                return buf
+            self.misses += 1
+            while len(self._buffers) >= self.max_buffers:
+                self._buffers.popitem(last=False)
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
             return buf
-        self.misses += 1
-        while len(self._buffers) >= self.max_buffers:
-            self._buffers.popitem(last=False)
-        buf = np.empty(shape, dtype=dtype)
-        self._buffers[key] = buf
-        return buf
 
     def clear(self) -> None:
-        self._buffers.clear()
+        with self._lock:
+            self._buffers.clear()
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "buffers": len(self._buffers)}
@@ -252,7 +258,11 @@ class FastBackend(ReferenceBackend):
         windows, (n, c, out_h, out_w) = F.im2col_windows(
             x, kernel_h, kernel_w, stride, padding
         )
-        key = ("im2col", x.shape, kernel_h, kernel_w, stride, padding)
+        # The workspace is keyed by thread identity as well as shape: concurrent
+        # serving shards (repro.cluster) run same-shaped convolutions in
+        # parallel, and a shared buffer would let one thread overwrite another's
+        # columns between the copy and the GEMM that consumes them.
+        key = ("im2col", threading.get_ident(), x.shape, kernel_h, kernel_w, stride, padding)
         buf = self._workspace.get(key, (n, out_h, out_w, c, kernel_h, kernel_w), x.dtype)
         np.copyto(buf, windows.transpose(0, 4, 5, 1, 2, 3))
         return buf.reshape(n * out_h * out_w, c * kernel_h * kernel_w)

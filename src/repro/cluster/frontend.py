@@ -1,0 +1,406 @@
+"""Cluster frontend: the sharded, concurrent `PersonalizationService`.
+
+:class:`ClusterService` exposes the same ``personalize`` / ``predict`` /
+``predict_batch`` surface as the single-process
+:class:`~repro.serve.service.PersonalizationService`, but answers inference
+traffic through a fleet of :class:`~repro.cluster.shard.ShardWorker` threads:
+
+* registered tenants are placed on shards by bounded-load consistent hashing
+  (:meth:`~repro.cluster.router.ConsistentHashRouter.balanced_assignments`),
+  so each shard's engine cache sees a stable, *balanced* tenant subset and
+  cache locality survives concurrency — no shard is handed more tenants than
+  the pigeonhole minimum, which is what keeps a capacity-bounded cache from
+  thrashing; unregistered keys fall back to plain ring routing;
+* every submission returns a :class:`~concurrent.futures.Future`
+  (:meth:`submit`); the synchronous API is a thin wait on top;
+* admission control rejects work when a shard's queue crosses the
+  high-water mark — the caller gets a :class:`RejectedResponse` with
+  ``status == 503`` instead of unbounded queueing;
+* :meth:`drain` / :meth:`shutdown` finish in-flight work before stopping,
+  and the service is a context manager that shuts down on exit.
+
+The personalization path (training + pruning) stays single-process and is
+delegated to an inner ``PersonalizationService`` sharing the cluster's model
+registry; what the cluster shards is the serving path, where the traffic is.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..serve.registry import ModelRegistry
+from ..serve.service import PersonalizationService, ServiceConfig
+from ..serve.types import PredictRequest, PredictResponse
+from .router import ConsistentHashRouter
+from .shard import ShardOverloadError, ShardWorker
+from .telemetry import merge_snapshots
+
+__all__ = ["ClusterConfig", "ClusterService", "RejectedResponse", "WORKER_KINDS"]
+
+#: Worker execution models the cluster knows how to run.  ``threaded`` is the
+#: in-process implementation; the name is a seam for a future process-based
+#: worker pool (same queue/telemetry contract, different isolation).
+WORKER_KINDS = ("threaded",)
+
+
+@dataclass
+class RejectedResponse:
+    """A 503-style admission rejection (the response-shaped kind of 'no').
+
+    Shares ``request_id`` / ``model_id`` / ``status`` with
+    :class:`~repro.serve.types.PredictResponse` so mixed result lists report
+    uniformly; ``ok`` distinguishes the two without isinstance checks.
+    """
+
+    request_id: Optional[str]
+    model_id: str
+    status: int = 503
+    reason: str = "shard queue above high-water mark"
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "request_id": self.request_id,
+            "model_id": self.model_id,
+            "status": self.status,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class ClusterConfig:
+    """Deployment shape of a :class:`ClusterService`.
+
+    ``cache_capacity`` / ``max_batch_size`` are *per shard* — the point of
+    sharding is that each worker's memory and batch budget stays bounded
+    while the fleet's total capacity scales with the shard count.
+    """
+
+    shards: int = 2
+    workers: str = "threaded"
+    cache_capacity: int = 4
+    max_batch_size: Optional[int] = None
+    max_pending: int = 256  #: bounded queue length per shard
+    high_water: Optional[int] = None  #: admission threshold (default: max_pending)
+    flush_interval_s: float = 0.002  #: micro-batching deadline per shard
+    poll_interval_s: float = 0.05
+    replicas: int = 64  #: hash-ring virtual nodes per shard
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.workers not in WORKER_KINDS:
+            raise ValueError(
+                f"Unknown worker kind {self.workers!r}; available: {WORKER_KINDS}"
+            )
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.high_water is None:
+            self.high_water = self.max_pending
+        if not 1 <= self.high_water <= self.max_pending:
+            raise ValueError(
+                f"high_water must be in [1, max_pending], got {self.high_water}"
+            )
+
+
+class ClusterService:
+    """Sharded concurrent serving runtime with the facade API.
+
+    Example
+    -------
+    >>> cluster = ClusterService(ClusterConfig(shards=4))
+    >>> model_id = cluster.personalize(PersonalizeRequest(user_id=0, num_classes=3))
+    >>> future = cluster.submit(PredictRequest(model_id, batch))   # async
+    >>> response = cluster.predict(model_id, batch)                # sync
+    >>> responses = cluster.predict_batch(mixed_tenant_requests)
+    >>> cluster.shutdown()                                         # graceful drain
+    """
+
+    def __init__(
+        self,
+        cluster: Optional[ClusterConfig] = None,
+        config: Optional[ServiceConfig] = None,
+        registry: Optional[ModelRegistry] = None,
+        service: Optional[PersonalizationService] = None,
+        start: bool = True,
+    ) -> None:
+        self.cluster = cluster or ClusterConfig()
+        if service is not None:
+            if config is not None or registry is not None:
+                raise ValueError("pass either service or (config, registry), not both")
+            self.service = service
+        else:
+            self.service = PersonalizationService(config=config, registry=registry)
+        self.registry = self.service.registry
+        self.config = self.service.config
+        self._workers: Dict[int, ShardWorker] = {}
+        self._next_shard_id = 0
+        self.router = ConsistentHashRouter(replicas=self.cluster.replicas)
+        # Balanced tenant placement, recomputed lazily whenever the
+        # registered-tenant set or the shard membership changes.
+        self._placement: Dict[str, int] = {}
+        self._placement_signature: Optional[tuple] = None
+        self._started = False
+        self._closed = False
+        for _ in range(self.cluster.shards):
+            self._add_worker()
+        if start:
+            self.start()
+
+    @classmethod
+    def from_service(
+        cls,
+        service: PersonalizationService,
+        cluster: Optional[ClusterConfig] = None,
+        start: bool = True,
+    ) -> "ClusterService":
+        """Wrap an existing single-process service (shared registry + config)."""
+        return cls(cluster=cluster, service=service, start=start)
+
+    # -- shard membership -------------------------------------------------------
+    def _add_worker(self) -> int:
+        shard_id = self._next_shard_id
+        self._next_shard_id += 1
+        worker = ShardWorker(
+            shard_id,
+            self.registry,
+            cache_capacity=self.cluster.cache_capacity,
+            max_batch_size=self.cluster.max_batch_size,
+            max_pending=self.cluster.max_pending,
+            flush_interval_s=self.cluster.flush_interval_s,
+            poll_interval_s=self.cluster.poll_interval_s,
+        )
+        self._workers[shard_id] = worker
+        self.router.add_shard(shard_id)
+        if self._started:
+            worker.start()
+        return shard_id
+
+    def add_shard(self) -> int:
+        """Scale out by one shard; only rerouted tenants change owner.
+
+        Bounded-load consistent hashing moves roughly 1/(shards+1) of the
+        tenants (those whose ring owner becomes the new shard, plus any
+        overflow that regains room); the bulk of the surviving shards' cached
+        engines stay warm.  Returns the new shard id.
+        """
+        self._ensure_open()
+        return self._add_worker()
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Scale in: reroute the shard's tenants, drain it, stop its thread."""
+        self._ensure_open()
+        if shard_id not in self._workers:
+            raise KeyError(f"unknown shard id {shard_id!r}")
+        if len(self._workers) == 1:
+            raise ValueError("cannot remove the last shard")
+        # Order matters: take the shard off the ring first so no new traffic
+        # lands on it, then drain what it already owns.
+        self.router.remove_shard(shard_id)
+        worker = self._workers.pop(shard_id)
+        worker.stop(drain=True)
+
+    @property
+    def shards(self) -> int:
+        return len(self._workers)
+
+    def _shard_for(self, model_id: str) -> int:
+        """The owning shard under bounded-load placement of the registry.
+
+        The placement table covers exactly the registered model ids and is
+        rebuilt when the registry contents or the shard set change (both are
+        cheap to fingerprint at this reproduction's fleet sizes).  Keys
+        outside the registry route by the plain ring.
+        """
+        signature = (tuple(self.registry.ids()), tuple(self.router.shard_ids()))
+        if signature != self._placement_signature:
+            table = self.router.balanced_assignments(signature[0])
+            self._placement = {
+                model_id: shard_id
+                for shard_id, model_ids in table.items()
+                for model_id in model_ids
+            }
+            self._placement_signature = signature
+        shard_id = self._placement.get(model_id)
+        return self.router.route(model_id) if shard_id is None else shard_id
+
+    def worker_for(self, model_id: str) -> ShardWorker:
+        """The shard worker owning ``model_id`` under the current placement."""
+        return self._workers[self._shard_for(model_id)]
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> "ClusterService":
+        """Start every shard's drain thread (idempotent)."""
+        self._ensure_open()
+        if not self._started:
+            self._started = True
+            for worker in self._workers.values():
+                worker.start()
+        return self
+
+    def drain(self) -> None:
+        """Block until every shard's queue is empty and answered."""
+        for worker in self._workers.values():
+            worker.drain()
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting work and stop every shard (graceful by default)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers.values():
+            worker.stop(drain=drain and self._started)
+
+    def __enter__(self) -> "ClusterService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ClusterService is shut down")
+
+    # -- personalization ----------------------------------------------------------
+    def personalize(self, request, **overrides) -> str:
+        """Personalize one tenant (delegated to the inner service).
+
+        Every shard's cached engine for the id is evicted afterwards — not
+        just the current owner's, since balanced placement can move a tenant
+        between shards as the fleet changes and a former owner must never
+        serve the pre-refresh weights if the tenant moves back.
+        """
+        self._ensure_open()
+        model_id = self.service.personalize(request, **overrides)
+        for worker in self._workers.values():
+            worker.evict(model_id)
+        return model_id
+
+    # -- inference ------------------------------------------------------------
+    def submit(self, request: PredictRequest) -> Future:
+        """Route one request to its shard; returns the response future.
+
+        Admission control: when the owning shard's queue sits at or above
+        the high-water mark (or is outright full), the future resolves
+        immediately to a :class:`RejectedResponse` with ``status == 503``
+        instead of queueing unboundedly.  Unknown model ids fail the future
+        with the registry's ``KeyError`` without poisoning a shard batch.
+        """
+        self._ensure_open()
+        future: Future = Future()
+        if request.model_id not in self.registry:
+            future.set_exception(
+                KeyError(
+                    f"Unknown model id {request.model_id!r}; "
+                    f"registered: {self.registry.ids()}"
+                )
+            )
+            return future
+        worker = self.worker_for(request.model_id)
+        if worker.pending() >= self.cluster.high_water:
+            worker.telemetry.record_reject()
+            future.set_result(
+                RejectedResponse(request_id=request.request_id, model_id=request.model_id)
+            )
+            return future
+        try:
+            return worker.submit(request)
+        except ShardOverloadError:
+            # Lost the race between the depth check and the bounded put.
+            future.set_result(
+                RejectedResponse(request_id=request.request_id, model_id=request.model_id)
+            )
+            return future
+
+    def predict(
+        self,
+        model_id: str,
+        batch: np.ndarray,
+        request_id: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Union[PredictResponse, RejectedResponse]:
+        """Answer one request synchronously (submit + wait)."""
+        return self.submit(PredictRequest(model_id, batch, request_id)).result(timeout)
+
+    def predict_batch(
+        self, requests: Sequence[PredictRequest], timeout: Optional[float] = None
+    ) -> List[Union[PredictResponse, RejectedResponse]]:
+        """Answer a mixed-tenant burst; responses come back in request order.
+
+        All requests are submitted before any wait, so co-tenant requests
+        land in their shard's queue together and fuse into one dispatch.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        futures = [self.submit(request) for request in requests]
+        results = []
+        for future in futures:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            results.append(future.result(remaining))
+        return results
+
+    def engine(self, model_id: str):
+        """The owning shard's cached engine (the hardware-model bridge).
+
+        Same contract as ``PersonalizationService.engine``, so
+        :func:`repro.hw.workload.workloads_from_service` models the engine a
+        sharded deployment would actually serve this tenant with.
+        """
+        self._ensure_open()
+        return self.worker_for(model_id).engine(model_id)
+
+    # -- introspection / persistence -------------------------------------------
+    def model_ids(self) -> List[str]:
+        return self.registry.ids()
+
+    def stats(self) -> Dict[str, object]:
+        """Cluster report: totals + router + uniform per-shard schema.
+
+        Per-shard ``cache`` and ``scheduler`` blocks carry exactly the same
+        keys as ``PersonalizationService.stats()``, so dashboards built for
+        the single-process path read shard telemetry unchanged.
+        """
+        per_shard = [self._workers[sid].stats() for sid in sorted(self._workers)]
+        totals = merge_snapshots([shard["telemetry"] for shard in per_shard])
+        merged_latency = None
+        for shard_id in sorted(self._workers):
+            histogram = self._workers[shard_id].telemetry.merged_latency()
+            merged_latency = histogram if merged_latency is None else merged_latency.merge(histogram)
+        if merged_latency is not None:
+            totals["latency"] = merged_latency.summary()
+        cache_totals = {
+            key: sum(shard["cache"][key] for shard in per_shard)
+            for key in ("resident", "hits", "misses", "evictions")
+        }
+        lookups = cache_totals["hits"] + cache_totals["misses"]
+        cache_totals["hit_rate"] = cache_totals["hits"] / lookups if lookups else 0.0
+        return {
+            "models": len(self.registry),
+            "shards": self.shards,
+            "workers": self.cluster.workers,
+            "router": self.router.stats(),
+            "cache": cache_totals,
+            "totals": totals,
+            "per_shard": per_shard,
+        }
+
+    def save(self, root) -> None:
+        """Persist every registered model (same layout as the inner service)."""
+        self.service.save(root)
+
+    @classmethod
+    def load(
+        cls,
+        root,
+        cluster: Optional[ClusterConfig] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> "ClusterService":
+        """Rebuild a cluster over a registry directory written by :meth:`save`."""
+        return cls(cluster=cluster, config=config, registry=ModelRegistry.load(root))

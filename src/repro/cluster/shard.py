@@ -1,0 +1,239 @@
+"""Shard worker: one thread owning an engine-cache + scheduler slice.
+
+A :class:`ShardWorker` is the concurrency unit of the cluster.  It owns a
+*private* :class:`~repro.serve.cache.EngineCache` and
+:class:`~repro.serve.scheduler.BatchScheduler` (neither is thread-safe;
+single ownership is what makes the sharded design sound), drains a bounded
+:class:`queue.Queue` of pending requests, and answers each request's
+:class:`~concurrent.futures.Future`.
+
+Batching trigger — *deadline or max batch*: the worker blocks for the first
+request, then keeps collecting until either ``flush_interval_s`` elapses or
+``max_batch_requests`` are in hand, and dispatches the whole slice through
+its scheduler so co-tenant requests fuse into one
+:meth:`~repro.backend.engine.Engine.predict_many` call.  Under a continuous
+backlog the deadline never idles: requests are always waiting, so the worker
+runs flush after flush at full batch.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import List, Optional
+
+from ..serve.cache import EngineCache
+from ..serve.scheduler import BatchScheduler
+from ..serve.types import PredictRequest
+from .telemetry import ShardTelemetry
+
+__all__ = ["ShardWorker", "ShardOverloadError"]
+
+
+class ShardOverloadError(RuntimeError):
+    """A shard's bounded queue is full — the 503 of the serving runtime."""
+
+    status = 503
+
+
+class _WorkItem:
+    __slots__ = ("request", "future", "enqueued_at")
+
+    def __init__(self, request: PredictRequest) -> None:
+        self.request = request
+        self.future: Future = Future()
+        self.enqueued_at = time.monotonic()
+
+
+class ShardWorker(threading.Thread):
+    """One serving shard: bounded queue → deadline/max-batch drain → futures.
+
+    The worker is created *unstarted* (call :meth:`start`, as
+    :class:`~repro.cluster.frontend.ClusterService` does) so tests and
+    benchmarks can stage a queue deterministically before draining begins.
+    """
+
+    def __init__(
+        self,
+        shard_id,
+        registry,
+        cache_capacity: int = 4,
+        max_batch_size: Optional[int] = None,
+        max_pending: int = 256,
+        flush_interval_s: float = 0.002,
+        poll_interval_s: float = 0.05,
+        telemetry: Optional[ShardTelemetry] = None,
+    ) -> None:
+        super().__init__(name=f"repro-shard-{shard_id}", daemon=True)
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if flush_interval_s < 0 or poll_interval_s <= 0:
+            raise ValueError("flush_interval_s must be >= 0 and poll_interval_s > 0")
+        self.shard_id = shard_id
+        self.cache = EngineCache(registry, capacity=cache_capacity)
+        self.scheduler = BatchScheduler(self.cache, max_batch_size=max_batch_size)
+        self.max_pending = max_pending
+        self.max_batch_requests = max_batch_size or max_pending
+        self.flush_interval_s = flush_interval_s
+        self.poll_interval_s = poll_interval_s
+        self.telemetry = telemetry or ShardTelemetry(shard_id)
+        self._queue: "queue.Queue[_WorkItem]" = queue.Queue(maxsize=max_pending)
+        self._stopping = threading.Event()
+        # Serializes scheduler/cache access between the worker thread and
+        # frontend-side accessors (engine(), evict()).
+        self._lock = threading.RLock()
+
+    # -- submission (frontend threads) ----------------------------------------
+    def submit(self, request: PredictRequest) -> Future:
+        """Enqueue one request; returns the future of its response.
+
+        Raises :class:`ShardOverloadError` when the bounded queue is full —
+        the frontend turns that into an admission-control rejection.
+        """
+        if self._stopping.is_set():
+            raise RuntimeError(f"shard {self.shard_id!r} is shut down")
+        item = _WorkItem(request)
+        try:
+            self._queue.put_nowait(item)
+        except queue.Full:
+            self.telemetry.record_reject()
+            raise ShardOverloadError(
+                f"shard {self.shard_id!r} queue full ({self.max_pending} pending)"
+            ) from None
+        if self._stopping.is_set() and self.ident is not None and not self.is_alive():
+            # Lost the race with stop(): the drain loop may already have seen
+            # an empty queue and exited, so nothing would ever answer this
+            # item.  Fail whatever is stranded instead of leaking the future.
+            self._fail_stranded()
+        self.telemetry.record_submit()
+        return item.future
+
+    def pending(self) -> int:
+        """Requests currently queued (approximate under concurrency)."""
+        return self._queue.qsize()
+
+    # -- frontend-side accessors ----------------------------------------------
+    def engine(self, model_id: str):
+        """The shard's cached engine for ``model_id`` (built on first use).
+
+        Takes the shard's dispatch lock, so it is safe to call while the
+        worker is live — e.g. for hardware-model workload extraction.
+        """
+        with self._lock:
+            return self.cache.get(model_id)
+
+    def evict(self, model_id: str) -> bool:
+        """Drop one tenant's cached engine (after re-personalization)."""
+        with self._lock:
+            return self.cache.evict(model_id)
+
+    # -- the drain loop (worker thread) ---------------------------------------
+    def run(self) -> None:  # pragma: no cover - exercised via integration tests
+        while True:
+            items = self._collect()
+            if items:
+                self._dispatch(items)
+            elif self._stopping.is_set() and self._queue.empty():
+                return
+
+    def _collect(self) -> List[_WorkItem]:
+        """Block for one request, then batch until deadline or max batch."""
+        try:
+            first = self._queue.get(timeout=self.poll_interval_s)
+        except queue.Empty:
+            return []
+        items = [first]
+        # When stopping, drain whatever is already queued without waiting out
+        # the deadline; the final flushes should not add latency to shutdown.
+        deadline = time.monotonic() + (0 if self._stopping.is_set() else self.flush_interval_s)
+        while len(items) < self.max_batch_requests:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    items.append(self._queue.get(timeout=remaining))
+                else:
+                    items.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        return items
+
+    def _dispatch(self, items: List[_WorkItem]) -> None:
+        depth_after = self._queue.qsize()
+        accepted: List[_WorkItem] = []
+        try:
+            with self._lock:
+                for item in items:
+                    try:
+                        self.scheduler.submit(item.request)
+                    except Exception as exc:  # e.g. duplicate request id
+                        item.future.set_exception(exc)
+                        self.telemetry.record_failure()
+                    else:
+                        accepted.append(item)
+                try:
+                    responses = self.scheduler.flush()
+                except Exception as exc:  # e.g. unknown model id in the batch
+                    for item in accepted:
+                        item.future.set_exception(exc)
+                    self.telemetry.record_failure(len(accepted))
+                    return
+            now = time.monotonic()
+            for item, response in zip(accepted, responses):
+                item.future.set_result(response)
+                self.telemetry.record_completion(now - item.enqueued_at)
+            self.telemetry.record_dispatch(len(items), depth_after)
+        finally:
+            for _ in items:
+                self._queue.task_done()
+
+    # -- lifecycle -------------------------------------------------------------
+    def drain(self) -> None:
+        """Block until every queued request has been dispatched and answered."""
+        self._queue.join()
+
+    def _fail_stranded(self) -> None:
+        """Answer anything left in a dead worker's queue with an exception.
+
+        Only called once the drain thread is known to have exited (or for a
+        never-started worker at stop time), so this is the sole consumer.
+        """
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            item.future.set_exception(
+                RuntimeError(f"shard {self.shard_id!r} is shut down")
+            )
+            self.telemetry.record_failure()
+            self._queue.task_done()
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the worker; with ``drain`` (default) finish queued work first.
+
+        Without ``drain``, already-queued requests are still answered (the
+        loop empties the queue before exiting) but no deadline batching is
+        applied to them.  Idempotent; safe to call on a never-started worker.
+        Requests that slip into the queue concurrently with shutdown have
+        their futures failed rather than leaked.
+        """
+        if drain and self.is_alive():
+            self._queue.join()
+        self._stopping.set()
+        if self.is_alive():
+            self.join(timeout=timeout if timeout is not None else 2 * self.poll_interval_s + 5.0)
+        if not self.is_alive():
+            self._fail_stranded()
+
+    def stats(self) -> dict:
+        """This shard's full report: queue, cache, scheduler, telemetry."""
+        return {
+            "shard": self.shard_id,
+            "pending": self.pending(),
+            "max_pending": self.max_pending,
+            "cache": self.cache.stats(),
+            "scheduler": self.scheduler.stats(),
+            "telemetry": self.telemetry.snapshot(),
+        }

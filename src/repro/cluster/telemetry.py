@@ -1,0 +1,225 @@
+"""Per-shard serving telemetry: counters, latency percentiles, distributions.
+
+Every :class:`~repro.cluster.shard.ShardWorker` owns one
+:class:`ShardTelemetry` and records into it from the worker thread while the
+frontend records admission rejections from caller threads — all mutation goes
+through one lock per telemetry object.  Snapshots are plain JSON-compatible
+dicts with a *stable schema* shared by every shard, so
+:meth:`~repro.cluster.frontend.ClusterService.stats` can both report shards
+side by side and merge them into cluster totals
+(:func:`merge_snapshots` / :meth:`ShardTelemetry.merge`).
+
+The latency surface follows the profiler/step-instrumentation idiom of the
+related serving repos: a bounded sample reservoir per histogram, summarised
+as p50/p95/p99 (plus mean/max) rather than raw traces.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+__all__ = ["LatencyHistogram", "ShardTelemetry", "merge_snapshots"]
+
+
+class LatencyHistogram:
+    """Latency samples with percentile summaries over a bounded reservoir.
+
+    The reservoir keeps the most recent ``max_samples`` observations (a
+    sliding window, so long-running shards report current behaviour, not
+    boot-time warmup), while ``count`` / ``total`` / ``max`` accumulate over
+    the histogram's whole lifetime.
+    """
+
+    def __init__(self, max_samples: int = 8192) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.max_samples = max_samples
+        self._samples: Deque[float] = deque(maxlen=max_samples)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        seconds = float(seconds)
+        self._samples.append(seconds)
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile ``q`` (0-100) over the reservoir."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram (for cluster-level summaries)."""
+        self._samples.extend(other._samples)
+        self.count += other.count
+        self.total += other.total
+        self.max = max(self.max, other.max)
+        return self
+
+    def summary(self) -> Dict[str, float]:
+        """The stable latency schema (milliseconds)."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p95_ms": self.percentile(95) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+            "max_ms": self.max * 1e3,
+        }
+
+
+class ShardTelemetry:
+    """Thread-safe counters and distributions for one serving shard.
+
+    Records four kinds of event:
+
+    * admission — ``record_submit`` / ``record_reject`` (frontend threads);
+    * dispatch — ``record_dispatch(batch_size, queue_depth)`` once per fused
+      flush (worker thread);
+    * completion — ``record_completion(latency_s)`` once per answered
+      request (worker thread);
+    * failure — ``record_failure`` for requests answered with an exception.
+    """
+
+    def __init__(self, shard_id, max_samples: int = 8192) -> None:
+        self.shard_id = shard_id
+        self._lock = threading.Lock()
+        self.latency = LatencyHistogram(max_samples=max_samples)
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.failed = 0
+        self.dispatches = 0
+        self._batch_sizes: Counter = Counter()
+        self._batch_max = 0
+        self._depth_samples = 0
+        self._depth_total = 0
+        self._depth_max = 0
+
+    # -- recording (any thread) ------------------------------------------------
+    def record_submit(self, n: int = 1) -> None:
+        with self._lock:
+            self.submitted += n
+
+    def record_reject(self, n: int = 1) -> None:
+        with self._lock:
+            self.rejected += n
+
+    def record_dispatch(self, batch_size: int, queue_depth: int) -> None:
+        with self._lock:
+            self.dispatches += 1
+            self._batch_sizes[int(batch_size)] += 1
+            self._batch_max = max(self._batch_max, int(batch_size))
+            self._depth_samples += 1
+            self._depth_total += int(queue_depth)
+            self._depth_max = max(self._depth_max, int(queue_depth))
+
+    def record_completion(self, latency_s: float) -> None:
+        with self._lock:
+            self.completed += 1
+            self.latency.record(latency_s)
+
+    def record_failure(self, n: int = 1) -> None:
+        with self._lock:
+            self.failed += n
+
+    # -- reporting -------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """One shard's telemetry as a JSON-compatible dict (stable schema)."""
+        with self._lock:
+            mean_batch = (
+                sum(size * count for size, count in self._batch_sizes.items())
+                / self.dispatches
+                if self.dispatches
+                else 0.0
+            )
+            return {
+                "shard": self.shard_id,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "failed": self.failed,
+                "latency": self.latency.summary(),
+                "batch_size": {
+                    "dispatches": self.dispatches,
+                    "mean": mean_batch,
+                    "max": self._batch_max,
+                    # JSON objects key by string; keep the distribution sparse.
+                    "histogram": {
+                        str(size): count
+                        for size, count in sorted(self._batch_sizes.items())
+                    },
+                },
+                "queue_depth": {
+                    "samples": self._depth_samples,
+                    "mean": (
+                        self._depth_total / self._depth_samples
+                        if self._depth_samples
+                        else 0.0
+                    ),
+                    "max": self._depth_max,
+                },
+            }
+
+    def merged_latency(self) -> LatencyHistogram:
+        """A copy of the latency histogram, safe to fold into a cluster total."""
+        with self._lock:
+            copy = LatencyHistogram(max_samples=self.latency.max_samples)
+            copy.merge(self.latency)
+            return copy
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Aggregate per-shard snapshots into cluster totals (same sub-schema).
+
+    Counter fields sum; latency percentiles cannot be merged from summaries
+    alone, so the merged ``latency`` block reports count/mean/max exactly and
+    leaves percentile merging to callers holding the histograms (see
+    :meth:`ShardTelemetry.merged_latency`).
+    """
+    snapshots = list(snapshots)
+    totals: Dict[str, object] = {
+        "shards": len(snapshots),
+        "submitted": sum(s["submitted"] for s in snapshots),
+        "completed": sum(s["completed"] for s in snapshots),
+        "rejected": sum(s["rejected"] for s in snapshots),
+        "failed": sum(s["failed"] for s in snapshots),
+    }
+    dispatches = sum(s["batch_size"]["dispatches"] for s in snapshots)
+    weighted = sum(
+        s["batch_size"]["mean"] * s["batch_size"]["dispatches"] for s in snapshots
+    )
+    totals["batch_size"] = {
+        "dispatches": dispatches,
+        "mean": weighted / dispatches if dispatches else 0.0,
+        "max": max((s["batch_size"]["max"] for s in snapshots), default=0),
+    }
+    count = sum(s["latency"]["count"] for s in snapshots)
+    weighted_ms = sum(s["latency"]["mean_ms"] * s["latency"]["count"] for s in snapshots)
+    totals["latency"] = {
+        "count": count,
+        "mean_ms": weighted_ms / count if count else 0.0,
+        "max_ms": max((s["latency"]["max_ms"] for s in snapshots), default=0.0),
+    }
+    totals["queue_depth"] = {
+        "max": max((s["queue_depth"]["max"] for s in snapshots), default=0),
+    }
+    return totals

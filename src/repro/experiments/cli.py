@@ -10,11 +10,16 @@ Installed as the ``repro-experiments`` console script; also runnable as
     python -m repro.experiments --backend fast fig1   # vectorized backend
     python -m repro.experiments serve         # multi-tenant serving replay
     python -m repro.experiments serve --serve-users 3 --serve-requests 24
+    python -m repro.experiments serve --shards 4 --workers threaded \
+        --stats-json serve_stats.json         # sharded cluster replay
 
 Each experiment prints the same rows/series the corresponding paper figure
 reports (at the reduced scale documented in EXPERIMENTS.md).  ``serve``
 personalizes several users through :mod:`repro.serve` and replays a mixed
-request stream per-request vs micro-batched.
+request stream per-request vs micro-batched; with ``--shards N`` the same
+stream also replays through the :mod:`repro.cluster` sharded runtime and the
+per-shard telemetry (latency percentiles, queue depth, batch sizes) is
+printed and optionally persisted with ``--stats-json``.
 """
 
 from __future__ import annotations
@@ -76,6 +81,25 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 ALL_COMMANDS = sorted([*EXPERIMENTS, "serve"])
 
 
+def _write_stats_json(path: str, report: Dict) -> None:
+    """Persist the serve replay's telemetry (``--stats-json``).
+
+    Keeps the machine-readable surface: timings, the single-process service
+    counters, and — when the replay ran sharded — the full cluster stats
+    (per-shard latency percentiles, queue depths, batch distribution).
+    """
+    import json
+
+    payload = {
+        "timings": report["timings"],
+        "stats": report["stats"],
+        "cluster": report.get("cluster"),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {path}")
+
+
 def run_experiment(name: str) -> None:
     """Run one named experiment and print its reproduced table."""
     if name not in EXPERIMENTS:
@@ -111,7 +135,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--serve-requests", type=int, default=12, help="requests to replay (default: 12)"
     )
     serve_group.add_argument(
-        "--serve-capacity", type=int, default=2, help="engine cache capacity (default: 2)"
+        "--serve-capacity", type=int, default=2,
+        help="engine cache capacity, per process or per shard (default: 2)",
+    )
+    serve_group.add_argument(
+        "--shards", type=int, default=1,
+        help="serving shards; > 1 also replays the stream through the "
+        "repro.cluster sharded runtime (default: 1)",
+    )
+    serve_group.add_argument(
+        "--workers", choices=("threaded",), default="threaded",
+        help="cluster worker execution model (default: threaded)",
+    )
+    serve_group.add_argument(
+        "--stats-json", metavar="PATH",
+        help="write the serve replay's service/cluster telemetry to PATH as JSON",
     )
     args = parser.parse_args(argv)
 
@@ -139,6 +177,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 users=args.serve_users,
                 requests=args.serve_requests,
                 cache_capacity=args.serve_capacity,
+                shards=args.shards,
+                workers=args.workers,
             )
         except ValueError as exc:
             parser.error(str(exc))
@@ -146,7 +186,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     for name in requested:
         if name == "serve":
             print("\n===== serve =====")
-            print_serve_demo(serve_config)
+            report = print_serve_demo(serve_config)
+            if args.stats_json:
+                _write_stats_json(args.stats_json, report)
         else:
             run_experiment(name)
     return 0

@@ -10,7 +10,12 @@ stream over their validation data, and replays it twice:
   :class:`~repro.serve.BatchScheduler` fuses each tenant's requests into a
   single dispatch.
 
-Both replays produce identical predictions; the demo prints the per-request
+With ``shards > 1`` the identical stream is replayed a third time through a
+:class:`~repro.cluster.ClusterService` (consistent-hash routing, one worker
+thread per shard), and the cluster's telemetry — per-shard latency
+percentiles, queue depths, batch-size distribution — joins the report.
+
+All replays produce identical predictions; the demo prints the per-request
 rows, the cache/scheduler counters and the throughput comparison.
 """
 
@@ -37,15 +42,23 @@ class ServeDemoConfig:
     requests: int = 12
     request_batch: int = 1  #: images per request (real traffic is single-image)
     cache_capacity: int = 2
+    shards: int = 1  #: > 1 replays the stream through a ClusterService too
+    workers: str = "threaded"
     target_sparsity: float = 0.8
     scale: ExperimentScale = TINY_SCALE
     engine: EngineSpec = field(default_factory=lambda: EngineSpec(block_size=8))
     seed: int = 0
 
     def __post_init__(self) -> None:
-        for name in ("users", "num_user_classes", "requests", "request_batch", "cache_capacity"):
+        for name in (
+            "users", "num_user_classes", "requests", "request_batch", "cache_capacity", "shards",
+        ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        from ..cluster import WORKER_KINDS
+
+        if self.workers not in WORKER_KINDS:
+            raise ValueError(f"workers must be one of {WORKER_KINDS}, got {self.workers!r}")
 
 
 def _request_stream(service, config: ServeDemoConfig, model_ids: List[str]) -> List[PredictRequest]:
@@ -110,6 +123,31 @@ def run_serve_demo(config: Optional[ServeDemoConfig] = None) -> Dict:
     for a, b in zip(solo, batched):
         np.testing.assert_array_equal(a.classes, b.classes)
 
+    cluster_report = None
+    if config.shards > 1:
+        from ..cluster import ClusterConfig, ClusterService
+
+        with ClusterService.from_service(
+            service,
+            ClusterConfig(
+                shards=config.shards,
+                workers=config.workers,
+                cache_capacity=config.cache_capacity,
+            ),
+        ) as cluster:
+            cluster.predict_batch(requests)  # warm per-shard engines
+            start = time.perf_counter()
+            clustered = cluster.predict_batch(requests)
+            cluster_s = time.perf_counter() - start
+            for a, b in zip(batched, clustered):
+                np.testing.assert_array_equal(a.classes, b.classes)
+            cluster_report = {
+                "shards": config.shards,
+                "workers": config.workers,
+                "cluster_s": cluster_s,
+                "stats": cluster.stats(),
+            }
+
     rows = [
         {
             "request": r.request_id,
@@ -129,11 +167,15 @@ def run_serve_demo(config: Optional[ServeDemoConfig] = None) -> Dict:
             "speedup": per_request_s / max(batched_s, 1e-12),
         },
         "stats": service.stats(),
+        "cluster": cluster_report,
     }
 
 
-def print_serve_demo(config: Optional[ServeDemoConfig] = None) -> None:
-    """CLI printer: replay table, counters and the throughput comparison."""
+def print_serve_demo(config: Optional[ServeDemoConfig] = None) -> Dict:
+    """CLI printer: replay table, counters and the throughput comparison.
+
+    Returns the full report dict so the CLI can persist it (``--stats-json``).
+    """
     report = run_serve_demo(config)
     print(f"tenants: {', '.join(report['model_ids'])}")
     print(format_table(report["rows"]))
@@ -146,3 +188,25 @@ def print_serve_demo(config: Optional[ServeDemoConfig] = None) -> None:
         f"micro-batched {t['batched_s'] * 1e3:.1f}ms "
         f"({t['speedup']:.1f}x, identical predictions)"
     )
+    cluster = report.get("cluster")
+    if cluster is not None:
+        cstats = cluster["stats"]
+        latency = cstats["totals"]["latency"]
+        print(
+            f"cluster: {cluster['shards']} {cluster['workers']} shards, "
+            f"{cluster['cluster_s'] * 1e3:.1f}ms replay (identical predictions)"
+        )
+        print(
+            f"  latency p50 {latency['p50_ms']:.1f}ms / p95 {latency['p95_ms']:.1f}ms "
+            f"/ p99 {latency['p99_ms']:.1f}ms; "
+            f"cache hit rate {cstats['cache']['hit_rate']:.2f}"
+        )
+        for shard in cstats["per_shard"]:
+            telemetry = shard["telemetry"]
+            print(
+                f"  shard {shard['shard']}: {telemetry['completed']} served, "
+                f"{telemetry['rejected']} rejected, "
+                f"mean batch {telemetry['batch_size']['mean']:.1f}, "
+                f"max queue {telemetry['queue_depth']['max']}"
+            )
+    return report

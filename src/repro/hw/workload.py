@@ -276,8 +276,17 @@ def workloads_from_service(
 ) -> List[LayerWorkload]:
     """Extract workloads for one registered tenant of a serving facade.
 
-    Goes through the :class:`~repro.serve.PersonalizationService` engine
-    cache, so hardware-model sweeps over a fleet of personalized tenants
+    Accepts anything with the facade's ``engine(model_id)`` contract:
+
+    * a :class:`~repro.serve.PersonalizationService` — the engine comes from
+      the single-process cache;
+    * a :class:`~repro.cluster.ClusterService` — the request routes through
+      the consistent-hash ring to the *owning shard's* cache, so hardware
+      reports model exactly the engine a sharded deployment would serve this
+      tenant with (same spec, same materialized formats, same shard
+      residency).
+
+    Either way, hardware-model sweeps over a fleet of personalized tenants
     reuse the same materialized engines as the inference traffic they are
     modelling.
     """

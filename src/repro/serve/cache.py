@@ -76,10 +76,19 @@ class EngineCache:
         return len(self._engines)
 
     def stats(self) -> Dict[str, object]:
+        """Hit/miss/eviction counters plus the derived hit rate.
+
+        The schema is shared verbatim by the single-process facade
+        (``PersonalizationService.stats()["cache"]``) and the per-shard
+        blocks of ``ClusterService.stats()``, so dashboards read both paths
+        with one parser.
+        """
+        lookups = self.hits + self.misses
         return {
             "capacity": self.capacity,
             "resident": len(self._engines),
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
         }

@@ -10,13 +10,19 @@ request.  Responses come back in submission order regardless of grouping.
 
 from __future__ import annotations
 
+import re
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from .cache import EngineCache
 from .types import PredictRequest, PredictResponse
 
 __all__ = ["BatchScheduler"]
+
+#: Shape of scheduler-generated request ids; a caller-provided id matching it
+#: bumps the generator's counter past it so the same id is never handed to a
+#: later request.
+_GENERATED_ID = re.compile(r"req-(\d{6,})")
 
 
 class BatchScheduler:
@@ -29,15 +35,33 @@ class BatchScheduler:
         self.max_batch_size = max_batch_size
         self._queue: List[PredictRequest] = []
         self._next_id = 0
+        self._pending_ids: Set[str] = set()
         self.requests_served = 0
         self.dispatches = 0
         self.largest_group = 0
 
     def submit(self, request: PredictRequest) -> str:
-        """Enqueue one request, assigning a request id if it has none."""
+        """Enqueue one request, assigning a request id if it has none.
+
+        Ids must be unique among pending requests — a duplicate would make
+        two responses indistinguishable — so resubmitting a pending id raises
+        ``ValueError``.  The id counter only advances when the scheduler
+        generates an id, and a caller-provided id in the generated
+        ``req-NNNNNN`` namespace bumps the counter past it so the generator
+        never collides with it.
+        """
         if request.request_id is None:
             request.request_id = f"req-{self._next_id:06d}"
-        self._next_id += 1
+            self._next_id += 1
+        else:
+            if request.request_id in self._pending_ids:
+                raise ValueError(
+                    f"duplicate request id {request.request_id!r} is already pending"
+                )
+            squatted = _GENERATED_ID.fullmatch(request.request_id)
+            if squatted:
+                self._next_id = max(self._next_id, int(squatted.group(1)) + 1)
+        self._pending_ids.add(request.request_id)
         self._queue.append(request)
         return request.request_id
 
@@ -53,6 +77,7 @@ class BatchScheduler:
         large groups so one hot tenant cannot starve the rest of a flush.
         """
         queue, self._queue = self._queue, []
+        self._pending_ids.clear()
         if not queue:
             return []
 
@@ -81,9 +106,28 @@ class BatchScheduler:
         return [r for r in responses if r is not None]
 
     def dispatch(self, requests: Sequence[PredictRequest]) -> List[PredictResponse]:
-        """Submit many requests and flush them in one call."""
-        for request in requests:
-            self.submit(request)
+        """Submit many requests and flush them in one call.
+
+        All-or-nothing submission: if any request is rejected (e.g. a
+        duplicate id), the ones this call already queued are rolled back
+        before the error propagates, so previously pending work is not
+        misaligned with later flushes.
+        """
+        submitted: List[PredictRequest] = []
+        try:
+            for request in requests:
+                self.submit(request)
+                submitted.append(request)
+        except Exception:
+            # Identity-based removal: PredictRequest compares by value, and
+            # only the exact objects queued by this call may be rolled back.
+            self._queue = [
+                queued for queued in self._queue
+                if not any(queued is request for request in submitted)
+            ]
+            for request in submitted:
+                self._pending_ids.discard(request.request_id)
+            raise
         return self.flush()
 
     def stats(self) -> Dict[str, object]:

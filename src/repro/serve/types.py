@@ -211,6 +211,9 @@ class PredictResponse(_JsonMessage):
 
     ``batched_with`` records how many requests shared the fused dispatch that
     produced this response — the observable effect of micro-batching.
+    ``status`` is the HTTP-style outcome code (always 200 here; the cluster
+    frontend answers over-admission with a 503-status rejection sharing the
+    same ``request_id``/``model_id``/``status`` surface).
     """
 
     request_id: str
@@ -218,10 +221,15 @@ class PredictResponse(_JsonMessage):
     logits: np.ndarray
     classes: np.ndarray
     batched_with: int = 1
+    status: int = 200
 
     def __post_init__(self) -> None:
         self.logits = np.asarray(self.logits, dtype=np.float64)
         self.classes = np.asarray(self.classes, dtype=np.int64)
+
+    @property
+    def ok(self) -> bool:
+        return self.status < 400
 
     def to_dict(self) -> Dict:
         return {
@@ -230,6 +238,7 @@ class PredictResponse(_JsonMessage):
             "logits": self.logits.tolist(),
             "classes": self.classes.tolist(),
             "batched_with": self.batched_with,
+            "status": self.status,
         }
 
     @classmethod
@@ -240,4 +249,5 @@ class PredictResponse(_JsonMessage):
             logits=np.asarray(payload["logits"], dtype=np.float64),
             classes=np.asarray(payload["classes"], dtype=np.int64),
             batched_with=int(payload.get("batched_with", 1)),
+            status=int(payload.get("status", 200)),
         )

@@ -156,6 +156,7 @@ class TestEngineCache:
         assert cache.get(id_a) is not engine_a  # rebuilt on return
         assert cache.stats() == {
             "capacity": 1, "resident": 1, "hits": 1, "misses": 3, "evictions": 2,
+            "hit_rate": 0.25,
         }
 
     def test_lru_order_follows_use(self):
@@ -169,6 +170,18 @@ class TestEngineCache:
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             EngineCache(ModelRegistry(), capacity=0)
+
+    def test_stats_counters_and_hit_rate(self):
+        registry, (id_a, id_b) = _registry_with(0, 1)
+        cache = EngineCache(registry, capacity=2)
+        assert cache.stats()["hit_rate"] == 0.0  # no lookups yet
+        cache.get(id_a)
+        cache.get(id_a)
+        cache.get(id_b)
+        cache.evict(id_b)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 2 and stats["evictions"] == 1
+        assert stats["hit_rate"] == pytest.approx(1 / 3)
 
 
 class TestBatchScheduler:
@@ -203,6 +216,74 @@ class TestBatchScheduler:
         responses = scheduler.dispatch(requests)
         assert scheduler.dispatches == 3  # 2 + 2 + 1
         assert [r.batched_with for r in responses] == [2, 2, 2, 2, 1]
+
+    def test_max_batch_size_interleaved_multi_tenant(self, rng):
+        """Submission order survives group splitting under mixed traffic."""
+        registry, (id_a, id_b) = _registry_with(0, 1)
+        scheduler = BatchScheduler(EngineCache(registry, capacity=2), max_batch_size=3)
+        # 7 for tenant A interleaved with 5 for tenant B: A splits 3+3+1,
+        # B splits 3+2 — five dispatches, none above the cap.
+        requests = [
+            PredictRequest(id_a if i % 2 == 0 or i >= 10 else id_b,
+                           rng.normal(size=(1, 3, 12, 12)),
+                           request_id=f"mix-{i:02d}")
+            for i in range(12)
+        ]
+        responses = scheduler.dispatch(requests)
+
+        assert [r.request_id for r in responses] == [r.request_id for r in requests]
+        assert [r.model_id for r in responses] == [r.model_id for r in requests]
+        assert scheduler.largest_group <= 3
+        assert scheduler.dispatches == 5  # A: 3+3+1, B: 3+2
+        assert max(r.batched_with for r in responses) <= 3
+        for request, response in zip(requests, responses):
+            engine = registry.build_engine(request.model_id)
+            np.testing.assert_allclose(
+                response.logits, engine.predict(request.inputs), atol=1e-10
+            )
+            engine.detach()
+
+    def test_generated_ids_skip_reserved_and_counter_advances_only_on_generate(self, rng):
+        registry, (id_a,) = _registry_with(0)
+        scheduler = BatchScheduler(EngineCache(registry, capacity=1))
+        inputs = rng.normal(size=(1, 3, 12, 12))
+        # A caller-provided id must not advance the generator's counter...
+        scheduler.submit(PredictRequest(id_a, inputs, request_id="caller-0"))
+        assert scheduler.submit(PredictRequest(id_a, inputs)) == "req-000000"
+        # ...and a caller id squatting the generated namespace is skipped over.
+        scheduler.submit(PredictRequest(id_a, inputs, request_id="req-000001"))
+        assert scheduler.submit(PredictRequest(id_a, inputs)) == "req-000002"
+        scheduler.flush()
+        # Reservation outlives the flush: the generator never reissues it.
+        assert scheduler.submit(PredictRequest(id_a, inputs)) == "req-000003"
+
+    def test_failed_dispatch_rolls_back_its_own_submissions(self, rng):
+        registry, (id_a,) = _registry_with(0)
+        scheduler = BatchScheduler(EngineCache(registry, capacity=1))
+        inputs = rng.normal(size=(1, 3, 12, 12))
+        staged = scheduler.submit(PredictRequest(id_a, inputs, request_id="staged"))
+        with pytest.raises(ValueError, match="duplicate request id"):
+            scheduler.dispatch([
+                PredictRequest(id_a, inputs, request_id="batch-0"),
+                PredictRequest(id_a, inputs, request_id="staged"),
+            ])
+        # The failed call's own submissions are gone; prior work is intact
+        # and the next flush stays aligned with it.
+        assert scheduler.pending == 1
+        responses = scheduler.flush()
+        assert [r.request_id for r in responses] == [staged]
+
+    def test_duplicate_pending_id_raises(self, rng):
+        registry, (id_a,) = _registry_with(0)
+        scheduler = BatchScheduler(EngineCache(registry, capacity=1))
+        inputs = rng.normal(size=(1, 3, 12, 12))
+        scheduler.submit(PredictRequest(id_a, inputs, request_id="dup"))
+        with pytest.raises(ValueError, match="duplicate request id"):
+            scheduler.submit(PredictRequest(id_a, inputs, request_id="dup"))
+        scheduler.flush()
+        # Once answered, the id is no longer pending and may be reused.
+        scheduler.submit(PredictRequest(id_a, inputs, request_id="dup"))
+        assert len(scheduler.flush()) == 1
 
     def test_flush_empty_queue(self):
         registry, _ = _registry_with(0)
@@ -281,6 +362,14 @@ class TestPersonalizationService:
         assert stats["cache"]["capacity"] == 1
         assert stats["cache"]["evictions"] >= 1
         assert len(service.cache) == 1
+
+    def test_stats_schema_shared_with_cluster_telemetry(self, service, model_ids):
+        """The cache block carries the counters cluster dashboards read."""
+        cache_stats = service.stats()["cache"]
+        assert set(cache_stats) == {
+            "capacity", "resident", "hits", "misses", "evictions", "hit_rate",
+        }
+        assert 0.0 <= cache_stats["hit_rate"] <= 1.0
 
     def test_single_predict_round_trip(self, service, model_ids, rng):
         response = service.predict(model_ids[0], rng.normal(size=(2, 3, 12, 12)))
