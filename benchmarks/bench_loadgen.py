@@ -1,0 +1,174 @@
+"""Scenario throughput: the loadgen scorecard of the sharded runtime.
+
+Replays :mod:`repro.loadgen` scenario presets (uniform control, Zipf burst,
+hot-set churn, closed loop) through a :class:`~repro.cluster.ClusterService`
+in maximum-ingest mode (``time_scale=0``: no pacing, the cluster absorbs
+the stream as fast as it can) and records the SLO numbers that matter per
+scenario — goodput, p50/p99 latency, rejection rate — as tracked
+BENCH_*.json records, stamped with backend + shard metadata by benchlib.
+
+This is the evaluation-framework counterpart to ``bench_cluster.py``: that
+script proves the cluster beats a bounded single service on one fixed
+traffic shape; this one tracks how the *same cluster* holds up across
+adversarial traffic shapes.
+
+Run under pytest-benchmark for the tracked numbers::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_loadgen.py --benchmark-only
+
+or as a script (the CI smoke run)::
+
+    PYTHONPATH=src python benchmarks/bench_loadgen.py --smoke --json BENCH_loadgen.json
+"""
+
+import argparse
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterService
+from repro.loadgen import DriverConfig, LoadDriver, build_scenario, synthetic_fleet
+
+#: Fleet defaults: more hot tenants than any shard's cache, four shards.
+TENANTS, REQUESTS, SHARDS, CAPACITY = 8, 96, 4, 2
+
+#: The tracked scenario mix: control, skewed burst, churn, closed loop.
+SCENARIO_NAMES = ("steady-uniform", "zipf-burst", "hot-churn", "closed-loop")
+
+
+def make_cluster(registry, shards=SHARDS, capacity=CAPACITY):
+    return ClusterService(
+        ClusterConfig(
+            shards=shards,
+            cache_capacity=capacity,
+            max_pending=max(256, REQUESTS),
+        ),
+        registry=registry,
+    )
+
+
+def run_scenario(cluster, workload):
+    """One maximum-ingest replay; returns the SLOReport."""
+    return LoadDriver(cluster, DriverConfig(time_scale=0.0)).run(workload)
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark harness
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def loadgen_setup():
+    registry, model_ids = synthetic_fleet(tenants=TENANTS)
+    workloads = {
+        name: build_scenario(name, requests=REQUESTS).synthesize(model_ids, seed=0)
+        for name in SCENARIO_NAMES
+    }
+    cluster = make_cluster(registry)
+    run_scenario(cluster, workloads["steady-uniform"])  # warm every engine path
+    yield cluster, workloads
+    cluster.shutdown()
+
+
+@pytest.mark.benchmark(group="loadgen")
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_scenario_replay(benchmark, loadgen_setup, name):
+    cluster, workloads = loadgen_setup
+    report = benchmark(run_scenario, cluster, workloads[name])
+    assert report.hung == 0
+    assert report.completed + report.rejected + report.failed == REQUESTS
+
+
+# ---------------------------------------------------------------------------
+# Script mode: the CI smoke run and the tracked JSON records
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    from benchlib import write_records
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tenants", type=int, default=TENANTS)
+    parser.add_argument("--requests", type=int, default=REQUESTS)
+    parser.add_argument("--shards", type=int, default=SHARDS)
+    parser.add_argument("--capacity", type=int, default=CAPACITY,
+                        help="engine-cache slots per shard")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fleet and short scenarios (fast CI sanity run)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write machine-readable BENCH_*.json records to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        tenants, requests_n, shards, capacity = 4, 24, 2, 2
+    else:
+        tenants, requests_n, shards, capacity = (
+            args.tenants, args.requests, args.shards, args.capacity,
+        )
+
+    registry, model_ids = synthetic_fleet(tenants=tenants)
+    cluster = make_cluster(registry, shards=shards, capacity=capacity)
+    records = []
+    try:
+        # Warm engine builds so the scenario numbers compare steady states.
+        warmup = build_scenario("steady-uniform", requests=requests_n).synthesize(
+            model_ids, seed=0
+        )
+        run_scenario(cluster, warmup)
+
+        print(
+            f"loadgen scorecard: {requests_n} requests over {tenants} tenants, "
+            f"{shards} shards x {capacity} cache slots (max-ingest replay)"
+        )
+        print(
+            f"{'scenario':>16} | {'goodput':>10} | {'p50':>8} | {'p99':>8} "
+            f"| {'rejected':>8} | {'hung':>4}"
+        )
+        for name in SCENARIO_NAMES:
+            workload = build_scenario(name, requests=requests_n).synthesize(
+                model_ids, seed=0
+            )
+            report = run_scenario(cluster, workload)
+            if report.hung:
+                print(f"FAIL: scenario {name} stranded {report.hung} futures")
+                return 1
+            latency = report.latency_summary()
+            print(
+                f"{name:>16} | {report.goodput_rps():8.0f}/s | "
+                f"{latency['p50_ms']:6.2f}ms | {latency['p99_ms']:6.2f}ms | "
+                f"{report.rejected:8d} | {report.hung:4d}"
+            )
+            records.extend(
+                [
+                    {"name": f"{name}_goodput", "unit": "req/s",
+                     "value": report.goodput_rps()},
+                    {"name": f"{name}_p99", "unit": "ms",
+                     "value": latency["p99_ms"]},
+                    {"name": f"{name}_rejection_rate", "unit": "ratio",
+                     "value": report.rejected / max(1, report.requests)},
+                ]
+            )
+    finally:
+        cluster.shutdown()
+
+    if args.json:
+        write_records(
+            args.json,
+            "loadgen_scenarios",
+            {
+                "tenants": tenants,
+                "requests": requests_n,
+                "shards": shards,
+                "cache_capacity": capacity,
+                "backend": "fast",
+                "smoke": args.smoke,
+            },
+            records,
+        )
+    print("ok: every scenario completed with zero hung futures")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

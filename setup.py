@@ -8,7 +8,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="crisp-repro",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "NumPy reproduction of CRISP hybrid N:M + block structured sparsity "
         "for class-aware model pruning, with a multi-tenant serving layer"

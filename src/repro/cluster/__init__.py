@@ -30,7 +30,7 @@ Quickstart::
 
 from .frontend import WORKER_KINDS, ClusterConfig, ClusterService, RejectedResponse
 from .router import ConsistentHashRouter
-from .shard import ShardOverloadError, ShardWorker
+from .shard import ShardKilledError, ShardOverloadError, ShardWorker
 from .telemetry import LatencyHistogram, ShardTelemetry, merge_snapshots
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "ConsistentHashRouter",
     "ShardWorker",
     "ShardOverloadError",
+    "ShardKilledError",
     "LatencyHistogram",
     "ShardTelemetry",
     "merge_snapshots",

@@ -38,7 +38,7 @@ from ..serve.service import PersonalizationService, ServiceConfig
 from ..serve.types import PredictRequest, PredictResponse
 from .router import ConsistentHashRouter
 from .shard import ShardOverloadError, ShardWorker
-from .telemetry import merge_snapshots
+from .telemetry import LatencyHistogram, merge_snapshots
 
 __all__ = ["ClusterConfig", "ClusterService", "RejectedResponse", "WORKER_KINDS"]
 
@@ -208,9 +208,37 @@ class ClusterService:
         worker = self._workers.pop(shard_id)
         worker.stop(drain=True)
 
+    def kill_shard(self, shard_id: int) -> None:
+        """Chaos operation: crash one shard abruptly (no drain, no reroute).
+
+        The shard's pending futures fail with
+        :class:`~repro.cluster.shard.ShardKilledError`, and traffic for its
+        tenants keeps failing fast (never hanging) until the fleet is healed
+        with :meth:`remove_shard`, which takes the corpse off the ring and
+        reroutes its tenants to the survivors.  This is the fault-injection
+        entry point :class:`repro.loadgen.FaultInjector` drives.
+        """
+        self._ensure_open()
+        if shard_id not in self._workers:
+            raise KeyError(f"unknown shard id {shard_id!r}")
+        self._workers[shard_id].kill()
+
     @property
     def shards(self) -> int:
         return len(self._workers)
+
+    def shard_ids(self) -> List[int]:
+        """The live shard ids, sorted — the public membership surface.
+
+        Chaos tooling (:class:`repro.loadgen.FaultInjector`) and telemetry
+        consumers address shards through this and :meth:`worker` rather than
+        the private worker table.
+        """
+        return sorted(self._workers)
+
+    def worker(self, shard_id: int) -> ShardWorker:
+        """The live worker for ``shard_id`` (raises ``KeyError`` if unknown)."""
+        return self._workers[shard_id]
 
     def _shard_for(self, model_id: str) -> int:
         """The owning shard under bounded-load placement of the registry.
@@ -319,6 +347,13 @@ class ClusterService:
                 RejectedResponse(request_id=request.request_id, model_id=request.model_id)
             )
             return future
+        except RuntimeError as exc:
+            # The owning shard is down (killed or shut down mid-flight).
+            # Fail the future cleanly instead of raising into the caller —
+            # the contract is that submit() always returns a future and a
+            # dead shard never hangs one.
+            future.set_exception(exc)
+            return future
 
     def predict(
         self,
@@ -360,21 +395,33 @@ class ClusterService:
     def model_ids(self) -> List[str]:
         return self.registry.ids()
 
+    def merged_latency(self) -> LatencyHistogram:
+        """The cluster-level latency histogram: every shard's reservoir, merged.
+
+        A true merge of the per-shard reservoirs (no resampling, no window
+        truncation — the merged reservoir is sized to hold every resident
+        sample), so the p50/p95/p99 computed from it are exactly what a
+        single service recording all completions would report.  This is the
+        histogram behind ``stats()["totals"]["latency"]``.
+        """
+        return LatencyHistogram.merged(
+            self._workers[shard_id].telemetry.merged_latency()
+            for shard_id in sorted(self._workers)
+        )
+
     def stats(self) -> Dict[str, object]:
         """Cluster report: totals + router + uniform per-shard schema.
 
         Per-shard ``cache`` and ``scheduler`` blocks carry exactly the same
         keys as ``PersonalizationService.stats()``, so dashboards built for
-        the single-process path read shard telemetry unchanged.
+        the single-process path read shard telemetry unchanged.  The
+        ``totals["latency"]`` percentiles come from :meth:`merged_latency`,
+        i.e. from the merged per-shard reservoirs, not from any attempt to
+        combine per-shard percentile summaries.
         """
         per_shard = [self._workers[sid].stats() for sid in sorted(self._workers)]
         totals = merge_snapshots([shard["telemetry"] for shard in per_shard])
-        merged_latency = None
-        for shard_id in sorted(self._workers):
-            histogram = self._workers[shard_id].telemetry.merged_latency()
-            merged_latency = histogram if merged_latency is None else merged_latency.merge(histogram)
-        if merged_latency is not None:
-            totals["latency"] = merged_latency.summary()
+        totals["latency"] = self.merged_latency().summary()
         cache_totals = {
             key: sum(shard["cache"][key] for shard in per_shard)
             for key in ("resident", "hits", "misses", "evictions")

@@ -29,13 +29,24 @@ from ..serve.scheduler import BatchScheduler
 from ..serve.types import PredictRequest
 from .telemetry import ShardTelemetry
 
-__all__ = ["ShardWorker", "ShardOverloadError"]
+__all__ = ["ShardWorker", "ShardOverloadError", "ShardKilledError"]
 
 
 class ShardOverloadError(RuntimeError):
     """A shard's bounded queue is full — the 503 of the serving runtime."""
 
     status = 503
+
+
+class ShardKilledError(RuntimeError):
+    """The shard was killed abruptly (fault injection / crash simulation).
+
+    Raised into every future the dead shard can no longer answer, and by
+    :meth:`ShardWorker.submit` for traffic that keeps arriving afterwards —
+    a clean, immediate error instead of a hang.
+    """
+
+    status = 500
 
 
 class _WorkItem:
@@ -79,8 +90,13 @@ class ShardWorker(threading.Thread):
         self.flush_interval_s = flush_interval_s
         self.poll_interval_s = poll_interval_s
         self.telemetry = telemetry or ShardTelemetry(shard_id)
+        #: Fault-injection knob: seconds slept before every dispatch.  A
+        #: chaos layer sets this to simulate a degraded worker — the queue
+        #: backs up and admission control starts shedding load upstream.
+        self.chaos_delay_s = 0.0
         self._queue: "queue.Queue[_WorkItem]" = queue.Queue(maxsize=max_pending)
         self._stopping = threading.Event()
+        self._killed = threading.Event()
         # Serializes scheduler/cache access between the worker thread and
         # frontend-side accessors (engine(), evict()).
         self._lock = threading.RLock()
@@ -90,10 +106,11 @@ class ShardWorker(threading.Thread):
         """Enqueue one request; returns the future of its response.
 
         Raises :class:`ShardOverloadError` when the bounded queue is full —
-        the frontend turns that into an admission-control rejection.
+        the frontend turns that into an admission-control rejection — and
+        :class:`ShardKilledError` once the shard has been killed.
         """
         if self._stopping.is_set():
-            raise RuntimeError(f"shard {self.shard_id!r} is shut down")
+            raise self._down_error()
         item = _WorkItem(request)
         try:
             self._queue.put_nowait(item)
@@ -129,10 +146,24 @@ class ShardWorker(threading.Thread):
         with self._lock:
             return self.cache.evict(model_id)
 
+    def put_engine(self, model_id: str, engine) -> None:
+        """Plant an engine in the shard's cache (chaos/testing seam).
+
+        Takes the dispatch lock like :meth:`evict`, so replacing a live
+        entry (e.g. fault injection poisoning it) never races a flush.
+        """
+        with self._lock:
+            self.cache.put(model_id, engine)
+
     # -- the drain loop (worker thread) ---------------------------------------
     def run(self) -> None:  # pragma: no cover - exercised via integration tests
         while True:
             items = self._collect()
+            if self._killed.is_set():
+                # Crash simulation: whatever is in hand (and still queued)
+                # gets a clean failure, never an answer and never a hang.
+                self._abort(items)
+                return
             if items:
                 self._dispatch(items)
             elif self._stopping.is_set() and self._queue.empty():
@@ -160,6 +191,9 @@ class ShardWorker(threading.Thread):
         return items
 
     def _dispatch(self, items: List[_WorkItem]) -> None:
+        delay = self.chaos_delay_s
+        if delay > 0:
+            time.sleep(delay)
         depth_after = self._queue.qsize()
         accepted: List[_WorkItem] = []
         try:
@@ -193,6 +227,20 @@ class ShardWorker(threading.Thread):
         """Block until every queued request has been dispatched and answered."""
         self._queue.join()
 
+    def _down_error(self) -> RuntimeError:
+        """The error a dead shard answers with (kill vs orderly shutdown)."""
+        if self._killed.is_set():
+            return ShardKilledError(f"shard {self.shard_id!r} was killed")
+        return RuntimeError(f"shard {self.shard_id!r} is shut down")
+
+    def _abort(self, items: List[_WorkItem]) -> None:
+        """Fail ``items`` and everything still queued (killed-shard path)."""
+        for item in items:
+            item.future.set_exception(self._down_error())
+            self.telemetry.record_failure()
+            self._queue.task_done()
+        self._fail_stranded()
+
     def _fail_stranded(self) -> None:
         """Answer anything left in a dead worker's queue with an exception.
 
@@ -204,11 +252,27 @@ class ShardWorker(threading.Thread):
                 item = self._queue.get_nowait()
             except queue.Empty:
                 return
-            item.future.set_exception(
-                RuntimeError(f"shard {self.shard_id!r} is shut down")
-            )
+            item.future.set_exception(self._down_error())
             self.telemetry.record_failure()
             self._queue.task_done()
+
+    def kill(self, timeout: Optional[float] = None) -> None:
+        """Abrupt chaos stop: no drain, no final flush — the crash simulation.
+
+        Every request the shard can no longer answer (in hand, queued, or
+        arriving afterwards) fails with :class:`ShardKilledError` instead of
+        hanging.  The dead shard keeps its ring ownership until the frontend
+        heals the fleet (``ClusterService.remove_shard``), so mid-outage
+        traffic for its tenants fails fast rather than silently rerouting —
+        exactly what a crashed replica looks like to a router that has not
+        yet noticed.  Idempotent; safe on a never-started worker.
+        """
+        self._killed.set()
+        self._stopping.set()
+        if self.is_alive():
+            self.join(timeout=timeout if timeout is not None else 2 * self.poll_interval_s + 5.0)
+        if not self.is_alive():
+            self._fail_stranded()
 
     def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Stop the worker; with ``drain`` (default) finish queued work first.

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import threading
 from collections import Counter, deque
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 __all__ = ["LatencyHistogram", "ShardTelemetry", "merge_snapshots"]
 
@@ -66,13 +66,48 @@ class LatencyHistogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def samples(self) -> Tuple[float, ...]:
+        """The resident reservoir samples (oldest first), for external merges.
+
+        This is the exposed surface percentile mergers need: percentiles
+        cannot be combined from p50/p95/p99 summaries, only from the
+        underlying samples.
+        """
+        return tuple(self._samples)
+
     def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
-        """Fold ``other`` into this histogram (for cluster-level summaries)."""
+        """Fold ``other`` into this histogram (for cluster-level summaries).
+
+        Bounded by *this* histogram's reservoir capacity: when the combined
+        samples overflow it, the oldest are dropped.  For a lossless merge of
+        several histograms use :meth:`merged`, which sizes the output to hold
+        every resident sample.
+        """
         self._samples.extend(other._samples)
         self.count += other.count
         self.total += other.total
         self.max = max(self.max, other.max)
         return self
+
+    @classmethod
+    def merged(cls, histograms: Iterable["LatencyHistogram"]) -> "LatencyHistogram":
+        """A new histogram holding every input's resident samples, losslessly.
+
+        Unlike :meth:`merge` this never mutates its inputs and never drops a
+        resident sample: the output reservoir is sized to the combined sample
+        count, so its percentiles equal those of one reservoir that had
+        recorded all the samples itself — the "true merged p99" a cluster
+        report needs.
+        """
+        histograms = list(histograms)
+        capacity = max(1, sum(len(h._samples) for h in histograms))
+        out = cls(max_samples=capacity)
+        for histogram in histograms:
+            out._samples.extend(histogram._samples)
+            out.count += histogram.count
+            out.total += histogram.total
+            out.max = max(out.max, histogram.max)
+        return out
 
     def summary(self) -> Dict[str, float]:
         """The stable latency schema (milliseconds)."""

@@ -12,6 +12,10 @@ Installed as the ``repro-experiments`` console script; also runnable as
     python -m repro.experiments serve --serve-users 3 --serve-requests 24
     python -m repro.experiments serve --shards 4 --workers threaded \
         --stats-json serve_stats.json         # sharded cluster replay
+    python -m repro.experiments loadgen --scenario zipf-burst --shards 4 \
+        --seed 0 --json                       # deterministic scenario replay
+    python -m repro.experiments loadgen --scenario shard-failure --shards 3 \
+        --measure --json slo.json             # chaos run + measured SLOReport
 
 Each experiment prints the same rows/series the corresponding paper figure
 reports (at the reduced scale documented in EXPERIMENTS.md).  ``serve``
@@ -19,7 +23,10 @@ personalizes several users through :mod:`repro.serve` and replays a mixed
 request stream per-request vs micro-batched; with ``--shards N`` the same
 stream also replays through the :mod:`repro.cluster` sharded runtime and the
 per-shard telemetry (latency percentiles, queue depth, batch sizes) is
-printed and optionally persisted with ``--stats-json``.
+printed and optionally persisted with ``--stats-json``.  ``loadgen`` drives
+a named :mod:`repro.loadgen` traffic scenario (arrival process × tenant
+popularity × optional fault schedule) against the sharded runtime and
+reports the SLO scorecard; see the EXPERIMENTS.md scenario cookbook.
 """
 
 from __future__ import annotations
@@ -35,6 +42,8 @@ from .fig4_metadata import aggregate_overheads, run_fig4
 from .fig7_class_sweep import run_fig7
 from .fig8_hardware import aggregate_fig8, run_fig8
 from .headline import run_headline
+from .loadgen_cli import SMOKE_REQUESTS as LOADGEN_SMOKE_REQUESTS
+from .loadgen_cli import LoadgenConfig, print_loadgen
 from .serve_demo import ServeDemoConfig, print_serve_demo
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
@@ -76,9 +85,10 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "headline": _print_headline,
 }
 
-#: Every runnable command: the figure experiments plus the serving demo
-#: (which needs CLI flags, so it is dispatched outside the EXPERIMENTS map).
-ALL_COMMANDS = sorted([*EXPERIMENTS, "serve"])
+#: Every runnable command: the figure experiments plus the serving demo and
+#: the scenario load generator (both need CLI flags, so they are dispatched
+#: outside the EXPERIMENTS map).
+ALL_COMMANDS = sorted([*EXPERIMENTS, "serve", "loadgen"])
 
 
 def _write_stats_json(path: str, report: Dict) -> None:
@@ -124,8 +134,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--backend",
         choices=("reference", "fast"),
-        default="reference",
-        help="compute backend every kernel routes through (default: reference)",
+        default=None,
+        help="compute backend every kernel routes through (default: reference "
+        "for the figure experiments; loadgen tenant engines default to fast, "
+        "matching EngineSpec)",
     )
     serve_group = parser.add_argument_group("serve options")
     serve_group.add_argument(
@@ -151,13 +163,63 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--stats-json", metavar="PATH",
         help="write the serve replay's service/cluster telemetry to PATH as JSON",
     )
+    loadgen_group = parser.add_argument_group("loadgen options")
+    loadgen_group.add_argument(
+        "--scenario", default="steady-uniform",
+        help="named traffic scenario preset (see `loadgen --list-scenarios`; "
+        "default: steady-uniform)",
+    )
+    loadgen_group.add_argument(
+        "--list-scenarios", action="store_true",
+        help="list the scenario presets with their descriptions and exit",
+    )
+    loadgen_group.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed: same (scenario, tenants, seed) -> same plan, "
+        "bit for bit (default: 0)",
+    )
+    loadgen_group.add_argument(
+        "--loadgen-tenants", type=int, default=8, metavar="N",
+        help="synthetic tenant fleet size (default: 8)",
+    )
+    loadgen_group.add_argument(
+        "--loadgen-requests", type=int, default=None, metavar="N",
+        help="override the scenario's request count (fault schedules rescale)",
+    )
+    loadgen_group.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="virtual->wall pacing multiplier; 0 replays as fast as possible "
+        "(default: 1.0)",
+    )
+    loadgen_group.add_argument(
+        "--json", nargs="?", const="-", metavar="PATH",
+        help="emit the report as JSON to PATH (or stdout when no PATH); "
+        "without --measure the payload is deterministic and byte-stable "
+        "across runs of the same scenario/seed",
+    )
+    loadgen_group.add_argument(
+        "--measure", action="store_true",
+        help="include the wall-clock SLO block (latency percentiles, goodput, "
+        "cluster merged p99) in the JSON payload",
+    )
+    loadgen_group.add_argument(
+        "--smoke", action="store_true",
+        help=f"shrink the scenario to {LOADGEN_SMOKE_REQUESTS} requests "
+        "(fast CI sanity run)",
+    )
     args = parser.parse_args(argv)
 
-    configure_backend(args.backend)
+    configure_backend(args.backend or "reference")
 
     if args.list:
         for name in ALL_COMMANDS:
             print(name)
+        return 0
+    if args.list_scenarios:
+        from repro.loadgen import SCENARIOS
+
+        for name in sorted(SCENARIOS):
+            print(f"{name:>16}: {SCENARIOS[name]().description}")
         return 0
 
     requested = list(args.experiments)
@@ -183,12 +245,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         except ValueError as exc:
             parser.error(str(exc))
 
+    if "loadgen" in requested:
+        try:
+            loadgen_config = LoadgenConfig(
+                scenario=args.scenario,
+                shards=args.shards,
+                tenants=args.loadgen_tenants,
+                requests=args.loadgen_requests,
+                seed=args.seed,
+                cache_capacity=args.serve_capacity,
+                time_scale=args.time_scale,
+                backend=args.backend or "fast",
+                smoke=args.smoke,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+
     for name in requested:
         if name == "serve":
             print("\n===== serve =====")
             report = print_serve_demo(serve_config)
             if args.stats_json:
                 _write_stats_json(args.stats_json, report)
+        elif name == "loadgen":
+            # No banner in JSON-to-stdout mode: the output must stay a
+            # clean, diffable JSON document.
+            if args.json != "-":
+                print("\n===== loadgen =====")
+            print_loadgen(loadgen_config, json_target=args.json, measure=args.measure)
         else:
             run_experiment(name)
     return 0

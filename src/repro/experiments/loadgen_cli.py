@@ -1,0 +1,134 @@
+"""CLI ``loadgen``: run a traffic scenario against the serving runtime.
+
+The experiments CLI's window into :mod:`repro.loadgen`: build a synthetic
+tenant fleet, synthesize a named scenario, replay it through a
+:class:`~repro.cluster.ClusterService` with ``--shards`` workers, and print
+the :class:`~repro.loadgen.report.SLOReport`.
+
+JSON output is split along the determinism line:
+
+* ``--json [PATH]`` (default: stdout) emits the *deterministic* payload —
+  scenario, plan digest, planned distribution and (for fault-free
+  scenarios) outcome counts + predictions digest.  Two runs of
+  ``loadgen --scenario zipf-burst --shards 4 --seed 0 --json`` produce
+  byte-identical output; CI diffs them to enforce it.
+* ``--measure`` adds the wall-clock ``slo`` block (latency percentiles,
+  goodput, cluster merged p99) to the JSON — honest numbers that naturally
+  differ between runs.  The human-readable report on stderr-free stdout
+  always shows them.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..cluster import ClusterConfig, ClusterService
+from ..loadgen import (
+    SCENARIOS,
+    DriverConfig,
+    LoadDriver,
+    SLOReport,
+    build_scenario,
+    synthetic_fleet,
+)
+
+__all__ = ["LoadgenConfig", "run_loadgen", "print_loadgen"]
+
+#: --smoke shrinks every scenario to this many requests.
+SMOKE_REQUESTS = 16
+
+
+@dataclass
+class LoadgenConfig:
+    """Knobs of one CLI loadgen run."""
+
+    scenario: str = "steady-uniform"
+    shards: int = 1
+    tenants: int = 8
+    requests: Optional[int] = None  #: None -> the preset's default
+    seed: int = 0
+    cache_capacity: int = 2
+    time_scale: float = 1.0
+    backend: str = "fast"  #: compute backend the tenant engines pin
+    smoke: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; available: {sorted(SCENARIOS)}"
+            )
+        for name in ("shards", "tenants", "cache_capacity"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.requests is not None and self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.time_scale < 0:
+            raise ValueError(f"time_scale must be >= 0, got {self.time_scale}")
+        if self.smoke and self.requests is None:
+            self.requests = SMOKE_REQUESTS
+        # A one-shard fleet has nothing to fail over to: shard-kill chaos
+        # needs at least two shards to demonstrate heal/reroute.
+        actions = {f.action for f in SCENARIOS[self.scenario]().faults}
+        if self.shards < 2 and "kill_shard" in actions:
+            raise ValueError(
+                f"scenario {self.scenario!r} kills a shard; run it with --shards >= 2"
+            )
+
+
+def run_loadgen(config: LoadgenConfig) -> Tuple[SLOReport, Dict[str, object]]:
+    """Run one scenario; returns (report, deterministic JSON payload).
+
+    The cluster's queue bound is sized to the whole workload so fault-free
+    scenarios never shed load for capacity reasons — that is what keeps
+    their outcome counts deterministic.  Scenarios that exist to exercise
+    admission control (e.g. ``slow-shard``) declare their own ``high_water``
+    and genuinely reject under backlog, by design.
+    """
+    scenario = build_scenario(config.scenario, requests=config.requests)
+    registry, model_ids = synthetic_fleet(
+        tenants=config.tenants, seed=config.seed, backend=config.backend
+    )
+    workload = scenario.synthesize(model_ids, seed=config.seed)
+    max_pending = max(256, len(workload))
+    cluster_config = ClusterConfig(
+        shards=config.shards,
+        cache_capacity=config.cache_capacity,
+        max_pending=max_pending,
+        # Scenarios built to trip admission control carry their own
+        # threshold; everything else gets an effectively unbounded queue so
+        # deterministic scenarios never shed load for capacity reasons.
+        high_water=min(scenario.high_water or max_pending, max_pending),
+    )
+    with ClusterService(cluster_config, registry=registry) as cluster:
+        driver = LoadDriver(cluster, DriverConfig(time_scale=config.time_scale))
+        report = driver.run(workload)
+    return report, report.to_dict(timing=False)
+
+
+def print_loadgen(
+    config: LoadgenConfig,
+    json_target: Optional[str] = None,
+    measure: bool = False,
+) -> SLOReport:
+    """Run, print the human report, and optionally emit/persist JSON.
+
+    ``json_target``: ``None`` (no JSON), ``"-"`` (stdout), or a path.
+    With ``measure`` the JSON gains the wall-clock ``slo`` block.
+    """
+    report, payload = run_loadgen(config)
+    if measure:
+        payload = report.to_dict(timing=True)
+    serialized = json.dumps(payload, indent=2, sort_keys=True)
+    if json_target == "-":
+        # JSON-only stdout so the output can be diffed/piped byte-for-byte.
+        sys.stdout.write(serialized + "\n")
+    else:
+        print(report.render())
+        if json_target is not None:
+            with open(json_target, "w") as fh:
+                fh.write(serialized + "\n")
+            print(f"wrote {json_target}")
+    return report

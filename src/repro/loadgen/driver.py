@@ -1,0 +1,257 @@
+"""The load driver: replay a synthesized workload against a service facade.
+
+:class:`LoadDriver` is deployment-agnostic: anything exposing the
+``submit(request) -> Future`` surface (:class:`~repro.cluster.ClusterService`)
+is driven asynchronously with open-loop pacing or closed-loop windowing,
+and anything exposing only the synchronous ``predict`` surface
+(:class:`~repro.serve.PersonalizationService`) is driven call-by-call.  Both
+paths record identical :class:`~repro.loadgen.report.RequestOutcome` streams
+into an :class:`~repro.loadgen.report.SLOReport`.
+
+Pacing: open-loop workloads sleep until each request's virtual arrival
+offset times ``time_scale``.  ``time_scale=1`` replays the scenario's
+virtual clock in real time; ``0`` disables pacing entirely (maximum-ingest
+mode, what the throughput benchmarks use).
+
+Faults: events fire *between* submissions, keyed by request index, through
+a :class:`~repro.loadgen.faults.FaultInjector` — deterministic placement in
+the request stream even though their wall-clock moment varies.
+
+Every submitted future is awaited with a hard deadline; one that never
+resolves is reported as *hung* (status 408) rather than blocking the run —
+``report.hung == 0`` is the no-leaked-futures invariant the chaos tests
+assert.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .faults import FaultInjector
+from .report import (
+    STATUS_FAILED,
+    STATUS_HUNG,
+    STATUS_OK,
+    STATUS_REJECTED,
+    RequestOutcome,
+    SLOReport,
+)
+from .scenario import Workload
+
+__all__ = ["DriverConfig", "LoadDriver"]
+
+
+@dataclass
+class DriverConfig:
+    """Replay knobs (orthogonal to the scenario being replayed)."""
+
+    time_scale: float = 1.0  #: virtual→wall multiplier; 0 = no pacing
+    timeout_s: float = 30.0  #: hard deadline for the slowest future
+    record_cluster_stats: bool = True  #: attach ClusterService.stats() to the report
+
+    def __post_init__(self) -> None:
+        if self.time_scale < 0:
+            raise ValueError(f"time_scale must be >= 0, got {self.time_scale}")
+        if self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+
+
+class LoadDriver:
+    """Replays workloads against one service facade and scores the run."""
+
+    def __init__(self, service, config: Optional[DriverConfig] = None) -> None:
+        self.service = service
+        self.config = config or DriverConfig()
+
+    # -- report scaffolding ------------------------------------------------------
+    def _is_async(self) -> bool:
+        return hasattr(self.service, "submit")
+
+    def _per_shard_planned(self, workload: Workload) -> Dict[str, int]:
+        """Planned request count per shard under the current placement.
+
+        Deterministic: placement depends only on the registry contents and
+        the shard set, and the workload's tenant sequence is seeded.
+        """
+        if not hasattr(self.service, "worker_for"):
+            return {"0": len(workload)}
+        counts: Dict[str, int] = {
+            str(shard_id): 0 for shard_id in self.service.shard_ids()
+        }
+        for item in workload.scheduled:
+            shard = self.service.worker_for(item.request.model_id).shard_id
+            counts[str(shard)] += 1
+        return counts
+
+    def _new_report(self, workload: Workload) -> SLOReport:
+        shards = getattr(self.service, "shards", 1)
+        return SLOReport(
+            scenario=workload.scenario.to_dict(),
+            plan=workload.plan_dict(),
+            shards=shards if isinstance(shards, int) else 1,
+            per_shard_planned=self._per_shard_planned(workload),
+        )
+
+    # -- the replay --------------------------------------------------------------
+    def run(self, workload: Workload) -> SLOReport:
+        """Replay ``workload`` and return its :class:`SLOReport`."""
+        if workload.faults and not self._is_async():
+            raise ValueError(
+                "fault-injection scenarios need a ClusterService "
+                "(the single-process facade has no shards to break)"
+            )
+        report = self._new_report(workload)
+        if self._is_async():
+            self._run_async(workload, report)
+        else:
+            self._run_sync(workload, report)
+        return report
+
+    def _fire_faults(
+        self, injector: Optional[FaultInjector], faults, index: int, workload: Workload,
+        report: SLOReport,
+    ) -> None:
+        for event in faults.get(index, ()):
+            entry = injector.fire(event, workload.model_ids)
+            report.fault_log.append(entry)
+
+    def _run_async(self, workload: Workload, report: SLOReport) -> None:
+        injector = FaultInjector(self.service) if workload.faults else None
+        faults: Dict[int, List] = {}
+        for event in workload.faults:
+            faults.setdefault(event.at_request, []).append(event)
+
+        window = (
+            threading.Semaphore(workload.concurrency) if workload.closed_loop else None
+        )
+        scale = self.config.time_scale
+        inflight: List[Tuple[str, str, float, Dict[str, float], Future]] = []
+        start = time.perf_counter()
+        stalled_from = None
+        fired_through = -1
+        for index, item in enumerate(workload.scheduled):
+            self._fire_faults(injector, faults, index, workload, report)
+            fired_through = index
+            if window is not None:
+                # Closed loop: wait for a slot, not for a timestamp.
+                if not window.acquire(timeout=self.config.timeout_s):
+                    # The window never freed: the outstanding futures are
+                    # stuck.  Stop submitting, but account for the whole
+                    # unsubmitted tail — silence would misreport the stall.
+                    stalled_from = index
+                    break
+            elif scale > 0:
+                target = start + item.at * scale
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            submitted = time.perf_counter()
+            future = self.service.submit(item.request)
+            marks: Dict[str, float] = {}
+
+            def _on_done(f: Future, marks: Dict[str, float] = marks) -> None:
+                marks["done"] = time.perf_counter()
+                if window is not None:
+                    window.release()
+
+            future.add_done_callback(_on_done)
+            inflight.append(
+                (item.request.request_id, item.request.model_id, submitted, marks, future)
+            )
+        if stalled_from is not None:
+            for item in workload.scheduled[stalled_from:]:
+                report.record(
+                    RequestOutcome(
+                        item.request.request_id,
+                        item.request.model_id,
+                        STATUS_HUNG,
+                        error="ClosedLoopStall",
+                    )
+                )
+        # Sweep the rest of the schedule, in order: events past the last
+        # submission index (late faults) and any skipped by a stall break
+        # still fire exactly once — the fault_log must reflect the whole
+        # declared schedule, executed or the run cannot be reasoned about.
+        for index in sorted(faults):
+            if index > fired_through:
+                self._fire_faults(injector, faults, index, workload, report)
+
+        deadline = time.perf_counter() + self.config.timeout_s
+        last_done = start
+        for request_id, model_id, submitted, marks, future in inflight:
+            remaining = max(0.0, deadline - time.perf_counter())
+            try:
+                result = future.result(timeout=remaining)
+            except FutureTimeoutError:
+                report.record(
+                    RequestOutcome(request_id, model_id, STATUS_HUNG, error="TimeoutError")
+                )
+                continue
+            except Exception as exc:
+                done = marks.get("done", time.perf_counter())
+                last_done = max(last_done, done)
+                report.record(
+                    RequestOutcome(
+                        request_id,
+                        model_id,
+                        STATUS_FAILED,
+                        latency_s=done - submitted,
+                        error=type(exc).__name__,
+                    )
+                )
+                continue
+            done = marks.get("done", time.perf_counter())
+            last_done = max(last_done, done)
+            latency = done - submitted
+            if getattr(result, "ok", False):
+                report.record(RequestOutcome(request_id, model_id, STATUS_OK, latency))
+                report.record_prediction(request_id, result.logits)
+            else:
+                report.record(RequestOutcome(request_id, model_id, STATUS_REJECTED, latency))
+        report.elapsed_s = max(last_done - start, 1e-12)
+        if injector is not None:
+            injector.restore_all()
+        if self.config.record_cluster_stats and hasattr(self.service, "stats"):
+            report.cluster_stats = self.service.stats()
+
+    def _run_sync(self, workload: Workload, report: SLOReport) -> None:
+        """Call-by-call replay for facades without an async submit surface."""
+        scale = self.config.time_scale
+        start = time.perf_counter()
+        for item in workload.scheduled:
+            if not workload.closed_loop and scale > 0:
+                target = start + item.at * scale
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            submitted = time.perf_counter()
+            try:
+                response = self.service.predict(
+                    item.request.model_id,
+                    item.request.inputs,
+                    request_id=item.request.request_id,
+                )
+            except Exception as exc:
+                report.record(
+                    RequestOutcome(
+                        item.request.request_id,
+                        item.request.model_id,
+                        STATUS_FAILED,
+                        latency_s=time.perf_counter() - submitted,
+                        error=type(exc).__name__,
+                    )
+                )
+                continue
+            latency = time.perf_counter() - submitted
+            report.record(
+                RequestOutcome(
+                    item.request.request_id, item.request.model_id, STATUS_OK, latency
+                )
+            )
+            report.record_prediction(item.request.request_id, response.logits)
+        report.elapsed_s = max(time.perf_counter() - start, 1e-12)

@@ -1,0 +1,138 @@
+"""Tenant-popularity models: which tenant each request addresses.
+
+A :class:`PopularityModel` maps a request index to a tenant index, given the
+fleet size and a seeded generator.  Combined with an arrival process it
+fixes the whole workload shape: *when* requests land and *who* they are for.
+
+Skew is the interesting axis for a sharded, cache-bounded runtime — uniform
+traffic flatters every design, while a Zipf head concentrated on one shard
+is what exposes placement and cache-capacity decisions:
+
+* :class:`UniformPopularity` — every tenant equally likely (the control);
+* :class:`ZipfPopularity` — classic power-law skew over a seeded tenant
+  permutation, so *which* tenants are hot varies by seed while the skew
+  itself does not;
+* :class:`HotSetChurn` — a small hot set takes most of the traffic and is
+  periodically rotated, modelling trending tenants; every rotation is a
+  cache-warmup cliff for whichever shards inherit the new hot set.
+
+Determinism contract: ``sequence(n, tenants, rng)`` is a pure function of
+its arguments — same model, same fleet size, same seeded ``rng`` state →
+the same tenant sequence, bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Type
+
+import numpy as np
+
+__all__ = [
+    "PopularityModel",
+    "UniformPopularity",
+    "ZipfPopularity",
+    "HotSetChurn",
+    "POPULARITIES",
+    "make_popularity",
+]
+
+
+class PopularityModel:
+    """Base class: a named generator of per-request tenant indices."""
+
+    kind = "abstract"
+
+    def sequence(self, n: int, tenants: int, rng: np.random.Generator) -> List[int]:
+        """``n`` tenant indices in ``[0, tenants)``."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = {"kind": self.kind}
+        payload.update(vars(self))
+        return payload
+
+
+@dataclass
+class UniformPopularity(PopularityModel):
+    """Every tenant equally popular — the no-skew control."""
+
+    kind = "uniform"
+
+    def sequence(self, n: int, tenants: int, rng: np.random.Generator) -> List[int]:
+        return rng.integers(0, tenants, size=n).tolist()
+
+
+@dataclass
+class ZipfPopularity(PopularityModel):
+    """Zipf-skewed popularity: rank ``r`` carries weight ``1 / (r+1)^alpha``.
+
+    Ranks are assigned to tenants through a seeded permutation, so the hot
+    tenant differs between seeds (placement-sensitivity is part of what the
+    scenario probes) while the skew profile is fixed by ``alpha``.
+    """
+
+    alpha: float = 1.1
+    kind = "zipf"
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be > 0, got {self.alpha}")
+
+    def sequence(self, n: int, tenants: int, rng: np.random.Generator) -> List[int]:
+        ranks = rng.permutation(tenants)
+        weights = 1.0 / np.power(np.arange(1, tenants + 1, dtype=np.float64), self.alpha)
+        probabilities = weights / weights.sum()
+        return ranks[rng.choice(tenants, size=n, p=probabilities)].tolist()
+
+
+@dataclass
+class HotSetChurn(PopularityModel):
+    """A rotating hot set: most traffic on few tenants, and the few change.
+
+    ``hot_fraction`` of the fleet (at least one tenant) receives
+    ``hot_mass`` of the requests; every ``churn_every`` requests the hot set
+    rotates to the next window of a seeded permutation.  Each rotation
+    invalidates cache locality on the shards that inherit the new hot
+    tenants — the scenario for testing warmup behaviour under drift.
+    """
+
+    hot_fraction: float = 0.25
+    hot_mass: float = 0.85
+    churn_every: int = 16
+    kind = "hot-churn"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in (0, 1], got {self.hot_fraction}")
+        if not 0.0 < self.hot_mass <= 1.0:
+            raise ValueError(f"hot_mass must be in (0, 1], got {self.hot_mass}")
+        if self.churn_every < 1:
+            raise ValueError(f"churn_every must be >= 1, got {self.churn_every}")
+
+    def sequence(self, n: int, tenants: int, rng: np.random.Generator) -> List[int]:
+        order = rng.permutation(tenants)
+        hot_size = max(1, int(round(self.hot_fraction * tenants)))
+        picks = []
+        for i in range(n):
+            rotation = (i // self.churn_every) * hot_size
+            hot = [int(order[(rotation + j) % tenants]) for j in range(hot_size)]
+            if rng.random() < self.hot_mass or hot_size == tenants:
+                picks.append(hot[int(rng.integers(0, hot_size))])
+            else:
+                cold = int(rng.integers(0, tenants - hot_size))
+                picks.append([t for t in range(tenants) if t not in hot][cold])
+        return picks
+
+
+#: Registry of popularity kinds (CLI listing / scenario description).
+POPULARITIES: Dict[str, Type[PopularityModel]] = {
+    cls.kind: cls for cls in (UniformPopularity, ZipfPopularity, HotSetChurn)
+}
+
+
+def make_popularity(kind: str, **params) -> PopularityModel:
+    """Instantiate a popularity model by registry name."""
+    if kind not in POPULARITIES:
+        raise KeyError(f"Unknown popularity model {kind!r}; available: {sorted(POPULARITIES)}")
+    return POPULARITIES[kind](**params)

@@ -1,0 +1,243 @@
+"""SLO reporting: per-request outcomes folded into the serving scorecard.
+
+The :class:`~repro.loadgen.driver.LoadDriver` records one
+:class:`RequestOutcome` per scheduled request and the :class:`SLOReport`
+summarises them the way a serving dashboard would: latency percentiles
+(p50/p95/p99 over completed requests), goodput, rejection rate, per-shard
+balance, and — when the target was a
+:class:`~repro.cluster.ClusterService` — the cluster's own merged-reservoir
+latency block alongside.
+
+The report has two faces:
+
+* the **deterministic** face (``to_dict(timing=False)``): scenario, plan
+  digest, planned per-tenant / per-shard distribution and — for fault-free
+  scenarios — outcome counts and a predictions digest.  Byte-stable across
+  runs of the same (scenario, fleet, seed); this is what the CLI's
+  ``--json`` emits by default so artifacts can be diffed.
+* the **measured** face (``timing=True`` adds the ``slo`` block): wall-clock
+  latency percentiles, goodput, the observed per-shard completions and the
+  cluster telemetry.  Honest numbers, inherently run-specific.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..cluster.telemetry import LatencyHistogram
+
+__all__ = ["RequestOutcome", "SLOReport", "STATUS_OK", "STATUS_REJECTED", "STATUS_FAILED", "STATUS_HUNG"]
+
+STATUS_OK = 200
+STATUS_REJECTED = 503
+STATUS_FAILED = 500
+STATUS_HUNG = 408  #: future never resolved within the driver's timeout
+
+
+@dataclass
+class RequestOutcome:
+    """What happened to one scheduled request."""
+
+    request_id: str
+    model_id: str
+    status: int  #: STATUS_OK / STATUS_REJECTED / STATUS_FAILED / STATUS_HUNG
+    latency_s: float = 0.0  #: submit → resolution (0 for hung futures)
+    error: Optional[str] = None  #: exception class name for failures
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+class SLOReport:
+    """Aggregated outcomes of one scenario run against one deployment."""
+
+    def __init__(
+        self,
+        scenario: Dict[str, object],
+        plan: Dict[str, object],
+        shards: int = 1,
+        per_shard_planned: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.scenario = scenario
+        self.plan = plan
+        self.shards = shards
+        self.per_shard_planned = per_shard_planned or {}
+        self.outcomes: List[RequestOutcome] = []
+        self.elapsed_s = 0.0
+        self.cluster_stats: Optional[Dict[str, object]] = None
+        self.fault_log: List[Dict[str, object]] = []
+        self._predictions = hashlib.sha256()
+        self._prediction_count = 0
+
+    # -- recording -------------------------------------------------------------
+    def record(self, outcome: RequestOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    def record_prediction(self, request_id: str, logits) -> None:
+        """Fold one completed response into the predictions digest.
+
+        Responses are recorded in request order and logits are quantized to
+        1e-6 before hashing: how requests fuse into batches depends on
+        wall-clock timing, and fused GEMMs differ from solo ones by a few
+        ulps, so raw float bytes would never be run-stable.  The quantized
+        digest is — while still pinning any real numerical change (anything
+        past 1e-6 flips it).  The zero-add normalizes ``-0.0`` so the sign
+        of a rounded-away value cannot flip bytes either.
+        """
+        self._predictions.update(request_id.encode())
+        self._predictions.update((np.round(logits, 6) + 0.0).tobytes())
+        self._prediction_count += 1
+
+    # -- derived counters -------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        return len(self.outcomes)
+
+    def _count(self, status: int) -> int:
+        return sum(1 for o in self.outcomes if o.status == status)
+
+    @property
+    def completed(self) -> int:
+        return self._count(STATUS_OK)
+
+    @property
+    def rejected(self) -> int:
+        return self._count(STATUS_REJECTED)
+
+    @property
+    def failed(self) -> int:
+        return self._count(STATUS_FAILED)
+
+    @property
+    def hung(self) -> int:
+        """Futures that never resolved — the invariant every run asserts is 0."""
+        return self._count(STATUS_HUNG)
+
+    @property
+    def deterministic_outcomes(self) -> bool:
+        """Whether outcome counts are part of the deterministic contract.
+
+        Fault-free open/closed-loop scenarios complete every request on
+        every run, so their counts (and the predictions digest) are
+        byte-stable.  Chaos scenarios race faults against wall-clock
+        progress; their counts are honest measurements, not invariants.
+        """
+        return not self.scenario.get("faults")
+
+    def predictions_digest(self) -> str:
+        return self._predictions.hexdigest()
+
+    # -- summaries --------------------------------------------------------------
+    def latency_summary(self) -> Dict[str, float]:
+        """p50/p95/p99 (+ mean/max) over completed requests, in milliseconds."""
+        latencies = [o.latency_s for o in self.outcomes if o.ok]
+        histogram = LatencyHistogram(max_samples=max(1, len(latencies)))
+        for value in latencies:
+            histogram.record(value)
+        return histogram.summary()
+
+    def imbalance(self, per_shard: Dict[str, int]) -> float:
+        """Max/mean ratio of a per-shard count table (1.0 = perfectly even)."""
+        counts = list(per_shard.values())
+        if not counts or sum(counts) == 0:
+            return 0.0
+        return max(counts) / (sum(counts) / len(counts))
+
+    def observed_per_shard(self) -> Dict[str, int]:
+        """Completed requests per shard, from the cluster stats (if attached)."""
+        if not self.cluster_stats:
+            return {}
+        return {
+            str(shard["shard"]): int(shard["telemetry"]["completed"])
+            for shard in self.cluster_stats.get("per_shard", [])
+        }
+
+    def goodput_rps(self) -> float:
+        return self.completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def offered_rps(self) -> float:
+        return self.requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def to_dict(self, timing: bool = True) -> Dict[str, object]:
+        """The report as a JSON-compatible dict.
+
+        ``timing=False`` restricts the payload to the deterministic face —
+        serialize it with ``sort_keys=True`` and two runs of the same
+        deterministic scenario produce identical bytes.
+        """
+        payload: Dict[str, object] = {
+            "scenario": self.scenario,
+            "plan": dict(
+                self.plan,
+                per_shard=self.per_shard_planned,
+                planned_imbalance=self.imbalance(self.per_shard_planned),
+            ),
+            "shards": self.shards,
+        }
+        if self.deterministic_outcomes:
+            payload["outcomes"] = {
+                "requests": self.requests,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "failed": self.failed,
+                "hung": self.hung,
+                "predictions_digest": self.predictions_digest(),
+            }
+        if timing:
+            slo: Dict[str, object] = {
+                "requests": self.requests,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "failed": self.failed,
+                "hung": self.hung,
+                "elapsed_s": self.elapsed_s,
+                "offered_rps": self.offered_rps(),
+                "goodput_rps": self.goodput_rps(),
+                "rejection_rate": self.rejected / self.requests if self.requests else 0.0,
+                "latency": self.latency_summary(),
+                "fault_log": self.fault_log,
+            }
+            if self.cluster_stats is not None:
+                observed = self.observed_per_shard()
+                slo["cluster"] = {
+                    # The merged-reservoir percentiles (true cluster p99).
+                    "latency": self.cluster_stats["totals"]["latency"],
+                    "per_shard_completed": observed,
+                    "observed_imbalance": self.imbalance(observed),
+                    "cache_hit_rate": self.cluster_stats["cache"]["hit_rate"],
+                }
+            payload["slo"] = slo
+        return payload
+
+    # -- human rendering ---------------------------------------------------------
+    def render(self) -> str:
+        """Multi-line human summary (the CLI's stdout report)."""
+        latency = self.latency_summary()
+        lines = [
+            f"scenario {self.scenario['name']}: {self.requests} requests over "
+            f"{self.plan['tenants']} tenants, {self.shards} shard(s)",
+            f"  outcomes: {self.completed} ok / {self.rejected} rejected (503) / "
+            f"{self.failed} failed / {self.hung} hung",
+            f"  latency:  p50 {latency['p50_ms']:.2f}ms  p95 {latency['p95_ms']:.2f}ms  "
+            f"p99 {latency['p99_ms']:.2f}ms  max {latency['max_ms']:.2f}ms",
+            f"  goodput:  {self.goodput_rps():.0f} req/s "
+            f"(offered {self.offered_rps():.0f} req/s, "
+            f"elapsed {self.elapsed_s * 1e3:.1f}ms)",
+            f"  balance:  planned imbalance {self.imbalance(self.per_shard_planned):.2f}",
+        ]
+        if self.cluster_stats is not None:
+            merged = self.cluster_stats["totals"]["latency"]
+            observed = self.observed_per_shard()
+            lines.append(
+                f"  cluster:  merged p99 {merged['p99_ms']:.2f}ms, observed imbalance "
+                f"{self.imbalance(observed):.2f}, cache hit rate "
+                f"{self.cluster_stats['cache']['hit_rate']:.2f}"
+            )
+        for event in self.fault_log:
+            lines.append(f"  fault:    request {event['at_request']}: {event['summary']}")
+        return "\n".join(lines)

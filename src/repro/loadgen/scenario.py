@@ -1,0 +1,387 @@
+"""Scenarios: named (arrivals × popularity × faults) presets, synthesized
+into concrete, replayable workloads.
+
+A :class:`Scenario` is the declarative description — how requests arrive,
+which tenants they hit, how many there are, and which faults strike when.
+:meth:`Scenario.synthesize` turns it into a :class:`Workload`: a fully
+materialized, seeded request schedule (arrival offset + tenant + inputs per
+request) that a :class:`~repro.loadgen.driver.LoadDriver` can replay against
+any service facade.
+
+Determinism contract
+--------------------
+``scenario.synthesize(model_ids, seed)`` is a pure function: the same
+scenario parameters, tenant list and seed always produce the identical
+workload — arrival offsets, tenant sequence, request ids, input tensors and
+fault schedule, bit for bit.  :meth:`Workload.digest` fingerprints the plan
+so two runs (or two machines) can prove they replayed the same traffic.
+Wall-clock measurements are the only non-deterministic part of a loadgen
+run, and they are kept out of the deterministic report section.
+
+Fault targets are *indices*, not ids: ``kill_shard`` with ``target=1`` kills
+the second-lowest live shard id at fire time, and ``poison_cache`` with
+``target=0`` poisons the first tenant.  Index targeting keeps presets
+portable across fleet sizes (resolved modulo the live count).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..serve.types import PredictRequest
+from .arrivals import ArrivalProcess, BurstyOnOff, ClosedLoop, ConstantRate, DiurnalRamp, PoissonArrivals
+from .popularity import HotSetChurn, PopularityModel, UniformPopularity, ZipfPopularity
+
+__all__ = [
+    "FaultEvent",
+    "FAULT_ACTIONS",
+    "Scenario",
+    "ScheduledRequest",
+    "Workload",
+    "SCENARIOS",
+    "build_scenario",
+]
+
+#: Chaos actions a scenario can schedule (see FaultInjector for semantics).
+FAULT_ACTIONS = (
+    "kill_shard",     # crash the target shard abruptly (futures fail, no drain)
+    "heal_shard",     # remove the earliest still-dead killed shard: reroute its tenants
+    "slow_shard",     # inject delay_s of extra latency into every dispatch
+    "restore_shard",  # clear an injected slowdown
+    "poison_cache",   # replace the target tenant's cached engine with a poisoned one
+    "heal_cache",     # evict the poisoned entry so the next request rebuilds
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled chaos action, fired just before request ``at_request``.
+
+    ``target`` addresses a shard (by live-shard index) or a tenant (by
+    position in the workload's tenant list) depending on the action;
+    ``delay_s`` only applies to ``slow_shard``.  Indexing by request — not
+    by wall-clock — keeps the schedule deterministic.
+    """
+
+    at_request: int
+    action: str
+    target: int = 0
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise ValueError(f"Unknown fault action {self.action!r}; available: {FAULT_ACTIONS}")
+        if self.at_request < 0:
+            raise ValueError(f"at_request must be >= 0, got {self.at_request}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "at_request": self.at_request,
+            "action": self.action,
+            "target": self.target,
+            "delay_s": self.delay_s,
+        }
+
+
+@dataclass
+class ScheduledRequest:
+    """One materialized request: arrival offset, tenant, and the request."""
+
+    at: float  #: virtual arrival offset (seconds from workload start)
+    tenant: int  #: index into the workload's model_ids
+    request: PredictRequest
+
+
+@dataclass
+class Scenario:
+    """A named traffic scenario: arrivals × popularity × count × faults."""
+
+    name: str
+    arrivals: ArrivalProcess
+    popularity: PopularityModel
+    requests: int = 64
+    request_batch: int = 1  #: images per request (edge traffic is single-image)
+    faults: Tuple[FaultEvent, ...] = ()
+    #: Per-shard admission threshold the scenario wants (None: effectively
+    #: unbounded, so fault-free runs never shed load and stay byte-stable).
+    #: Presets that exist to exercise admission control set this low.
+    high_water: Optional[int] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.request_batch < 1:
+            raise ValueError(f"request_batch must be >= 1, got {self.request_batch}")
+        if self.high_water is not None and self.high_water < 1:
+            raise ValueError(f"high_water must be >= 1, got {self.high_water}")
+        self.faults = tuple(sorted(self.faults, key=lambda f: (f.at_request, f.action)))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-stable description of the scenario (no synthesized data)."""
+        return {
+            "name": self.name,
+            "arrivals": self.arrivals.to_dict(),
+            "popularity": self.popularity.to_dict(),
+            "requests": self.requests,
+            "request_batch": self.request_batch,
+            "faults": [fault.to_dict() for fault in self.faults],
+            "high_water": self.high_water,
+            "description": self.description,
+        }
+
+    def synthesize(
+        self,
+        model_ids: Sequence[str],
+        seed: int = 0,
+        input_shape: Tuple[int, int, int] = (3, 12, 12),
+    ) -> "Workload":
+        """Materialize the deterministic workload for a concrete fleet.
+
+        One seeded generator drives arrivals, then tenant choice, then the
+        input tensors, in that fixed order — so the whole plan is a pure
+        function of (scenario, model_ids, seed, input_shape).
+        """
+        if not model_ids:
+            raise ValueError("cannot synthesize a workload over an empty fleet")
+        rng = np.random.default_rng(seed)
+        offsets = self.arrivals.times(self.requests, rng)
+        tenants = self.popularity.sequence(self.requests, len(model_ids), rng)
+        scheduled = []
+        for i, (at, tenant) in enumerate(zip(offsets, tenants)):
+            inputs = rng.normal(size=(self.request_batch, *input_shape))
+            scheduled.append(
+                ScheduledRequest(
+                    at=float(at),
+                    tenant=int(tenant),
+                    request=PredictRequest(
+                        model_ids[tenant], inputs, request_id=f"{self.name}-{i:05d}"
+                    ),
+                )
+            )
+        return Workload(
+            scenario=self,
+            model_ids=list(model_ids),
+            seed=seed,
+            scheduled=scheduled,
+            closed_loop=self.arrivals.closed_loop,
+            concurrency=getattr(self.arrivals, "concurrency", 1),
+        )
+
+
+@dataclass
+class Workload:
+    """A synthesized scenario: the concrete request schedule to replay."""
+
+    scenario: Scenario
+    model_ids: List[str]
+    seed: int
+    scheduled: List[ScheduledRequest]
+    closed_loop: bool = False
+    concurrency: int = 1
+    faults: Tuple[FaultEvent, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.faults = self.scenario.faults
+
+    def __len__(self) -> int:
+        return len(self.scheduled)
+
+    @property
+    def virtual_duration_s(self) -> float:
+        """The last arrival offset (0 for closed-loop workloads)."""
+        return max((s.at for s in self.scheduled), default=0.0)
+
+    def per_tenant(self) -> Dict[str, int]:
+        """Planned request count per model id (every tenant listed)."""
+        counts = {model_id: 0 for model_id in self.model_ids}
+        for item in self.scheduled:
+            counts[item.request.model_id] += 1
+        return counts
+
+    def digest(self) -> str:
+        """SHA-256 fingerprint of the full plan (schedule + faults).
+
+        Two runs that report the same digest replayed byte-identical
+        traffic; the fingerprint covers arrival offsets, tenant order,
+        request ids, input tensors and the fault schedule.
+        """
+        h = hashlib.sha256()
+        for item in self.scheduled:
+            h.update(f"{item.at!r}|{item.tenant}|{item.request.request_id}|".encode())
+            h.update(item.request.inputs.tobytes())
+        for fault in self.faults:
+            h.update(repr(sorted(fault.to_dict().items())).encode())
+        return h.hexdigest()
+
+    def plan_dict(self) -> Dict[str, object]:
+        """The deterministic plan summary the SLO report embeds."""
+        return {
+            "digest": self.digest(),
+            "seed": self.seed,
+            "requests": len(self.scheduled),
+            "tenants": len(self.model_ids),
+            "virtual_duration_s": self.virtual_duration_s,
+            "closed_loop": self.closed_loop,
+            "concurrency": self.concurrency,
+            "per_tenant": self.per_tenant(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Named presets
+# ---------------------------------------------------------------------------
+
+def _steady_uniform() -> Scenario:
+    return Scenario(
+        name="steady-uniform",
+        arrivals=ConstantRate(rate=400.0),
+        popularity=UniformPopularity(),
+        description="open-loop constant rate, uniform tenants — the control",
+    )
+
+
+def _poisson_zipf() -> Scenario:
+    return Scenario(
+        name="poisson-zipf",
+        arrivals=PoissonArrivals(rate=400.0),
+        popularity=ZipfPopularity(alpha=1.1),
+        description="memoryless arrivals with a Zipf tenant head",
+    )
+
+
+def _zipf_burst() -> Scenario:
+    return Scenario(
+        name="zipf-burst",
+        arrivals=BurstyOnOff(burst_size=16, burst_rate=2000.0, idle_s=0.05),
+        popularity=ZipfPopularity(alpha=1.1),
+        description="on/off bursts over Zipf-skewed tenants — queues fill, "
+        "co-tenant requests fuse, the hot shard is the bottleneck",
+    )
+
+
+def _diurnal_ramp() -> Scenario:
+    return Scenario(
+        name="diurnal-ramp",
+        arrivals=DiurnalRamp(base_rate=100.0, peak_rate=1200.0, period_s=0.4),
+        popularity=UniformPopularity(),
+        description="sinusoidal day/night rate sweep compressed into seconds",
+    )
+
+
+def _closed_loop() -> Scenario:
+    return Scenario(
+        name="closed-loop",
+        arrivals=ClosedLoop(concurrency=8),
+        popularity=UniformPopularity(),
+        description="8 outstanding requests at all times (service-rate bound)",
+    )
+
+
+def _hot_churn() -> Scenario:
+    return Scenario(
+        name="hot-churn",
+        arrivals=ConstantRate(rate=600.0),
+        popularity=HotSetChurn(hot_fraction=0.25, hot_mass=0.85, churn_every=16),
+        description="a rotating hot set — every churn is a cache-warmup cliff",
+    )
+
+
+def _shard_failure() -> Scenario:
+    return Scenario(
+        name="shard-failure",
+        arrivals=PoissonArrivals(rate=500.0),
+        popularity=UniformPopularity(),
+        requests=48,
+        faults=(
+            FaultEvent(at_request=16, action="kill_shard", target=1),
+            FaultEvent(at_request=32, action="heal_shard"),
+        ),
+        description="a shard crashes mid-run (clean failures, zero hangs), "
+        "then the fleet heals and reroutes its tenants",
+    )
+
+
+def _slow_shard() -> Scenario:
+    return Scenario(
+        name="slow-shard",
+        arrivals=ConstantRate(rate=800.0),
+        popularity=UniformPopularity(),
+        requests=48,
+        faults=(
+            FaultEvent(at_request=8, action="slow_shard", target=0, delay_s=0.02),
+            FaultEvent(at_request=32, action="restore_shard", target=0),
+        ),
+        high_water=4,  # short queue: the slowdown must trip admission control
+        description="one shard degrades: its queue backs up and admission "
+        "control sheds load with 503s until the slowdown clears",
+    )
+
+
+def _cache_poison() -> Scenario:
+    return Scenario(
+        name="cache-poison",
+        arrivals=ConstantRate(rate=600.0),
+        popularity=ZipfPopularity(alpha=1.1),
+        requests=48,
+        faults=(
+            FaultEvent(at_request=12, action="poison_cache", target=0),
+            FaultEvent(at_request=28, action="heal_cache", target=0),
+        ),
+        description="the hot tenant's cached engine is poisoned mid-run; its "
+        "requests fail cleanly until the entry is evicted and rebuilt",
+    )
+
+
+#: Scenario name -> zero-argument factory producing a fresh preset.
+SCENARIOS: Dict[str, Callable[[], Scenario]] = {
+    "steady-uniform": _steady_uniform,
+    "poisson-zipf": _poisson_zipf,
+    "zipf-burst": _zipf_burst,
+    "diurnal-ramp": _diurnal_ramp,
+    "closed-loop": _closed_loop,
+    "hot-churn": _hot_churn,
+    "shard-failure": _shard_failure,
+    "slow-shard": _slow_shard,
+    "cache-poison": _cache_poison,
+}
+
+
+def build_scenario(
+    name: str,
+    requests: Optional[int] = None,
+    request_batch: Optional[int] = None,
+) -> Scenario:
+    """A fresh preset by name, optionally resized.
+
+    Resizing keeps fault schedules proportional: a fault at request 16 of 48
+    lands at request 5 of 16 when a smoke run shrinks the scenario.
+    """
+    if name not in SCENARIOS:
+        raise KeyError(f"Unknown scenario {name!r}; available: {sorted(SCENARIOS)}")
+    if requests is not None and requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if request_batch is not None and request_batch < 1:
+        raise ValueError(f"request_batch must be >= 1, got {request_batch}")
+    scenario = SCENARIOS[name]()
+    if request_batch is not None:
+        scenario.request_batch = request_batch
+    if requests is not None and requests != scenario.requests:
+        scale = requests / scenario.requests
+        scenario.faults = tuple(
+            FaultEvent(
+                at_request=min(requests - 1, int(fault.at_request * scale)),
+                action=fault.action,
+                target=fault.target,
+                delay_s=fault.delay_s,
+            )
+            for fault in scenario.faults
+        )
+        scenario.requests = requests
+    return scenario

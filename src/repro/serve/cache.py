@@ -45,11 +45,30 @@ class EngineCache:
         self.misses += 1
         engine = self.registry.build_engine(model_id)
         self._engines[model_id] = engine
+        self._evict_overflow()
+        return engine
+
+    def _evict_overflow(self) -> None:
+        """Detach-and-drop from the LRU end until capacity is respected."""
         while len(self._engines) > self.capacity:
             _, evicted = self._engines.popitem(last=False)
             evicted.detach()
             self.evictions += 1
-        return engine
+
+    def put(self, model_id: str, engine) -> None:
+        """Insert (or replace) an entry directly, as most-recently-used.
+
+        The normal path is :meth:`get` building engines lazily; ``put`` is
+        the seam for callers that need to plant a specific engine under an
+        id — fault injection poisoning a live entry, or tests staging a
+        pre-built engine.  A replaced engine is detached; inserting beyond
+        capacity evicts from the LRU end as usual.
+        """
+        old = self._engines.pop(model_id, None)
+        if old is not None and old is not engine:
+            old.detach()
+        self._engines[model_id] = engine
+        self._evict_overflow()
 
     def evict(self, model_id: str) -> bool:
         """Drop one entry (detaching its engine); returns whether it existed."""

@@ -12,7 +12,7 @@ class TestCLI:
     def test_list_flag(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
-        for name in [*EXPERIMENTS, "serve"]:
+        for name in [*EXPERIMENTS, "serve", "loadgen"]:
             assert name in out
 
     def test_no_arguments_shows_help(self, capsys):

@@ -432,3 +432,56 @@ class TestTelemetry:
         assert totals["latency"]["count"] == 4
         assert totals["latency"]["max_ms"] == pytest.approx(4.0)
         assert first.snapshot()["batch_size"]["histogram"] == {"3": 1}
+
+    def test_samples_exposes_the_reservoir(self):
+        histogram = LatencyHistogram(max_samples=3)
+        for value in (0.004, 0.001, 0.002, 0.003):
+            histogram.record(value)
+        # Sliding window: the oldest observation fell out, order preserved.
+        assert histogram.samples() == (0.001, 0.002, 0.003)
+
+    def test_merged_classmethod_is_lossless_and_pure(self):
+        shards = [LatencyHistogram(max_samples=4) for _ in range(3)]
+        for i, histogram in enumerate(shards):
+            for value in range(1, 5):
+                histogram.record((10 * i + value) / 1e3)
+        merged = LatencyHistogram.merged(shards)
+        # Lossless: every resident sample survives (instance merge() would
+        # have truncated 12 samples into one shard's 4-slot reservoir)...
+        assert len(merged.samples()) == 12
+        # ...and pure: the inputs are untouched.
+        assert all(len(h.samples()) == 4 for h in shards)
+        # Percentiles equal those of one reservoir that saw all samples.
+        reference = LatencyHistogram(max_samples=12)
+        for histogram in shards:
+            for value in histogram.samples():
+                reference.record(value)
+        assert merged.summary() == reference.summary()
+
+    def test_cluster_percentiles_match_a_single_merged_reservoir(self):
+        """Regression: cluster p50/p95/p99 must come from the merged shard
+        reservoirs, exactly — not from averaging per-shard summaries."""
+        registry, model_ids = _fleet(tenants=6)
+        requests = _stream(model_ids, requests=30)
+        with ClusterService(
+            ClusterConfig(shards=3, cache_capacity=2), registry=registry
+        ) as cluster:
+            cluster.predict_batch(requests, timeout=30)
+            stats = cluster.stats()
+            shard_samples = [
+                cluster._workers[sid].telemetry.latency.samples()
+                for sid in sorted(cluster._workers)
+            ]
+            merged = cluster.merged_latency()
+
+        reference = LatencyHistogram(max_samples=len(requests))
+        for samples in shard_samples:
+            for value in samples:
+                reference.record(value)
+        assert reference.count == len(requests)
+        assert merged.summary() == reference.summary()
+        assert stats["totals"]["latency"] == reference.summary()
+        # The merged percentiles are genuine order statistics of the pooled
+        # samples — p99 sits between the pooled p50 and the pooled max.
+        latency = stats["totals"]["latency"]
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"] <= latency["max_ms"] + 1e-9

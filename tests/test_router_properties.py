@@ -1,0 +1,137 @@
+"""Property-style randomized trials for :class:`ConsistentHashRouter`.
+
+Each test sweeps ≥50 seeded trials over random fleets (2–8 shards) and
+random tenant sets (1–120 keys), checking the invariants the cluster's
+placement correctness rests on:
+
+* **bounded load** — ``balanced_assignments`` never hands a shard more than
+  the pigeonhole minimum ``ceil(keys / shards)``, for default and explicit
+  bounds, and always partitions the key set exactly;
+* **minimal movement** — ``add_shard`` moves keys *only to the new shard*
+  (survivors never trade keys among themselves) and ``remove_shard`` moves
+  *only the removed shard's* keys; neither is ever a full reshuffle;
+* **determinism** — placement is a pure function of (key set, shard set),
+  identical across router instances and insertion orders.
+
+Trials are seeded with :func:`numpy.random.default_rng` so every run of the
+suite exercises the identical fleet/tenant draws.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import ConsistentHashRouter
+
+TRIALS = list(range(50))
+
+
+def _random_fleet(seed, min_shards=2):
+    """A seeded (router, shards, keys) draw; replicas kept small for speed."""
+    rng = np.random.default_rng(seed)
+    shards = int(rng.integers(min_shards, 9))
+    n_keys = int(rng.integers(1, 121))
+    prefix = rng.integers(0, 2**32)
+    keys = [f"tenant-{prefix:08x}-{i}" for i in range(n_keys)]
+    router = ConsistentHashRouter(range(shards), replicas=32)
+    return router, shards, keys
+
+
+def _owners(table):
+    return {key: shard for shard, keys in table.items() for key in keys}
+
+
+class TestBoundedLoadInvariant:
+    @pytest.mark.parametrize("seed", TRIALS)
+    def test_default_bound_is_pigeonhole_minimum(self, seed):
+        router, shards, keys = _random_fleet(seed)
+        table = router.balanced_assignments(keys)
+        # Exact partition: every key placed exactly once, no key invented.
+        assert sorted(k for ks in table.values() for k in ks) == sorted(keys)
+        bound = math.ceil(len(keys) / shards)
+        assert max(len(ks) for ks in table.values()) <= bound
+
+    @pytest.mark.parametrize("seed", TRIALS)
+    def test_explicit_bound_is_respected_when_feasible(self, seed):
+        router, shards, keys = _random_fleet(seed)
+        # Any feasible bound (>= pigeonhole minimum) must be honoured.
+        slack = math.ceil(len(keys) / shards) + int(np.random.default_rng(seed).integers(0, 3))
+        table = router.balanced_assignments(keys, max_load=slack)
+        assert max(len(ks) for ks in table.values()) <= slack
+        assert sorted(k for ks in table.values() for k in ks) == sorted(keys)
+
+    @pytest.mark.parametrize("seed", TRIALS[:10])
+    def test_placement_is_deterministic_across_instances_and_order(self, seed):
+        router, shards, keys = _random_fleet(seed)
+        twin = ConsistentHashRouter(range(shards), replicas=32)
+        shuffled = list(keys)
+        np.random.default_rng(seed + 1).shuffle(shuffled)
+        assert router.balanced_assignments(keys) == twin.balanced_assignments(shuffled)
+
+
+class TestMinimalMovement:
+    @pytest.mark.parametrize("seed", TRIALS)
+    def test_add_shard_moves_keys_only_to_the_new_shard(self, seed):
+        router, shards, keys = _random_fleet(seed)
+        before = {k: router.route(k) for k in keys}
+        router.add_shard(shards)  # new shard id is `shards`
+        after = {k: router.route(k) for k in keys}
+        moved = {k for k in keys if before[k] != after[k]}
+        # Minimality: a moved key can only have moved to the newcomer —
+        # survivors never exchange keys with each other.
+        assert all(after[k] == shards for k in moved)
+        if len(keys) >= 20:
+            # No reshuffle: expected movement is ~1/(shards+1); 0.6 leaves
+            # generous room for hash variance at 32 replicas.
+            assert len(moved) <= 0.6 * len(keys)
+
+    @pytest.mark.parametrize("seed", TRIALS)
+    def test_remove_shard_moves_only_its_own_keys(self, seed):
+        router, shards, keys = _random_fleet(seed)
+        victim = int(np.random.default_rng(seed + 2).integers(0, shards))
+        before = {k: router.route(k) for k in keys}
+        router.remove_shard(victim)
+        after = {k: router.route(k) for k in keys}
+        for key in keys:
+            if before[key] == victim:
+                assert after[key] != victim
+            else:
+                assert after[key] == before[key]
+
+    @pytest.mark.parametrize("seed", TRIALS)
+    def test_balanced_add_shard_is_not_a_reshuffle(self, seed):
+        router, shards, keys = _random_fleet(seed)
+        if len(keys) < 20:
+            pytest.skip("movement fractions are meaningless on tiny key sets")
+        before = _owners(router.balanced_assignments(keys))
+        router.add_shard(shards)
+        after = _owners(router.balanced_assignments(keys))
+        moved = sum(1 for k in keys if before[k] != after[k])
+        # Bounded-load placement may cascade a few extra moves beyond the
+        # ring-minimal set (the load bound tightens), but the bulk of the
+        # fleet must keep its owner or shard caches would flush on scale-out.
+        assert moved <= 0.6 * len(keys)
+        bound = math.ceil(len(keys) / (shards + 1))
+        assert max(
+            len(ks) for ks in router.balanced_assignments(keys).values()
+        ) <= bound
+
+    @pytest.mark.parametrize("seed", TRIALS)
+    def test_balanced_remove_shard_keeps_survivor_bound(self, seed):
+        router, shards, keys = _random_fleet(seed, min_shards=3)
+        victim = int(np.random.default_rng(seed + 3).integers(0, shards))
+        before = _owners(router.balanced_assignments(keys))
+        router.remove_shard(victim)
+        table = router.balanced_assignments(keys)
+        after = _owners(table)
+        # The dead shard owns nothing; the survivors still meet the bound.
+        assert victim not in table
+        assert max(len(ks) for ks in table.values()) <= math.ceil(len(keys) / (shards - 1))
+        if len(keys) >= 20:
+            stayed = sum(1 for k in keys if before[k] == after[k] and before[k] != victim)
+            not_on_victim = sum(1 for k in keys if before[k] != victim)
+            # Survivors keep the clear majority of their keys.
+            assert stayed >= 0.4 * not_on_victim
