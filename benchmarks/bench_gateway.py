@@ -1,0 +1,223 @@
+"""Gateway transports head to head: in-process API vs loopback wire vs HTTP.
+
+Replays the same seeded scenario through the three Serving API v2 paths —
+the :class:`~repro.gateway.ClusterBackend` in process, a
+:class:`~repro.gateway.GatewayClient` over the JSON loopback wire, and the
+same client over a real socket (:class:`~repro.gateway.GatewayHTTPServer` on
+an ephemeral port) — and scores each with the loadgen SLO machinery.  The
+predictions digest must be identical across all three (the wire is allowed
+to cost latency, never bits), and a rate-limited burst must shed with
+``RESOURCE_EXHAUSTED`` rejections, zero hangs, zero bare failures.
+
+Run under pytest-benchmark for the tracked numbers::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_gateway.py --benchmark-only
+
+or as a script (the CI smoke run)::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py --smoke --json BENCH_gateway.json
+"""
+
+import argparse
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterService
+from repro.gateway import (
+    ClusterBackend,
+    Gateway,
+    GatewayClient,
+    GatewayConfig,
+    LoopbackTransport,
+    serve_http,
+)
+from repro.loadgen import DriverConfig, LoadDriver, build_scenario, synthetic_fleet
+
+#: Fleet defaults (mirrors bench_loadgen so numbers are comparable).
+TENANTS, REQUESTS, SHARDS, CAPACITY = 8, 96, 4, 2
+
+SCENARIO = "steady-uniform"
+
+
+def make_cluster(registry, shards=SHARDS, capacity=CAPACITY, requests=REQUESTS):
+    return ClusterService(
+        ClusterConfig(
+            shards=shards,
+            cache_capacity=capacity,
+            max_pending=max(256, requests),
+        ),
+        registry=registry,
+    )
+
+
+def replay(target, workload):
+    """One maximum-ingest replay; returns the SLOReport."""
+    return LoadDriver(target, DriverConfig(time_scale=0.0)).run(workload)
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark harness
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def gateway_setup():
+    registry, model_ids = synthetic_fleet(tenants=TENANTS)
+    workload = build_scenario(SCENARIO, requests=REQUESTS).synthesize(model_ids, seed=0)
+    cluster = make_cluster(registry)
+    gateway = Gateway(ClusterBackend(cluster))
+    server = serve_http(gateway)
+    targets = {
+        "local": ClusterBackend(cluster),
+        "loopback": GatewayClient(LoopbackTransport(gateway)),
+        "http": GatewayClient(server.transport()),
+    }
+    replay(targets["local"], workload)  # warm every engine path
+    yield targets, workload
+    server.stop()
+    cluster.shutdown()
+
+
+@pytest.mark.benchmark(group="gateway")
+@pytest.mark.parametrize("transport", ("local", "loopback", "http"))
+def test_transport_replay(benchmark, gateway_setup, transport):
+    targets, workload = gateway_setup
+    report = benchmark(replay, targets[transport], workload)
+    assert report.hung == 0 and report.completed == REQUESTS
+
+
+def test_transport_parity(gateway_setup):
+    """Bit-identical predictions across every transport."""
+    targets, workload = gateway_setup
+    digests = {
+        name: replay(target, workload).predictions_digest()
+        for name, target in targets.items()
+    }
+    assert len(set(digests.values())) == 1, digests
+
+
+# ---------------------------------------------------------------------------
+# Script mode: the CI smoke run and the tracked JSON records
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    from benchlib import write_records
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tenants", type=int, default=TENANTS)
+    parser.add_argument("--requests", type=int, default=REQUESTS)
+    parser.add_argument("--shards", type=int, default=SHARDS)
+    parser.add_argument("--capacity", type=int, default=CAPACITY,
+                        help="engine-cache slots per shard")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fleet and a short scenario (fast CI sanity run)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write machine-readable BENCH_*.json records to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        tenants, requests_n, shards, capacity = 4, 24, 2, 2
+    else:
+        tenants, requests_n, shards, capacity = (
+            args.tenants, args.requests, args.shards, args.capacity,
+        )
+
+    registry, model_ids = synthetic_fleet(tenants=tenants)
+    workload_for = lambda: build_scenario(SCENARIO, requests=requests_n).synthesize(
+        model_ids, seed=0
+    )
+    cluster = make_cluster(registry, shards=shards, capacity=capacity,
+                           requests=requests_n)
+    gateway = Gateway(ClusterBackend(cluster))
+    records = []
+    try:
+        replay(ClusterBackend(cluster), workload_for())  # warm engines
+        print(
+            f"gateway transports: {requests_n} requests over {tenants} tenants, "
+            f"{shards} shards (max-ingest replay of {SCENARIO!r})"
+        )
+        print(f"{'transport':>10} | {'goodput':>10} | {'p50':>8} | {'p99':>8} | digest")
+        digests = {}
+        with serve_http(gateway) as server:
+            targets = {
+                "local": ClusterBackend(cluster),
+                "loopback": GatewayClient(LoopbackTransport(gateway)),
+                "http": GatewayClient(server.transport()),
+            }
+            for name, target in targets.items():
+                report = replay(target, workload_for())
+                if report.hung or report.completed != requests_n:
+                    print(
+                        f"FAIL: transport {name} completed {report.completed}, "
+                        f"hung {report.hung}"
+                    )
+                    return 1
+                latency = report.latency_summary()
+                digests[name] = report.predictions_digest()
+                print(
+                    f"{name:>10} | {report.goodput_rps():8.0f}/s | "
+                    f"{latency['p50_ms']:6.2f}ms | {latency['p99_ms']:6.2f}ms | "
+                    f"{digests[name][:12]}"
+                )
+                records.extend(
+                    [
+                        {"name": f"{name}_goodput", "unit": "req/s",
+                         "value": report.goodput_rps()},
+                        {"name": f"{name}_p99", "unit": "ms",
+                         "value": latency["p99_ms"]},
+                    ]
+                )
+        if len(set(digests.values())) != 1:
+            print(f"FAIL: transports disagree on predictions: {digests}")
+            return 1
+        print("parity: predictions bit-identical across local/loopback/http")
+
+        # The rate-limit acceptance check: a bursty over-limit tenant is
+        # shed with RESOURCE_EXHAUSTED — rejected outcomes, never hangs or
+        # bare failures.
+        limited_gateway = Gateway(
+            ClusterBackend(cluster), GatewayConfig(rate_per_s=5.0, burst=4)
+        )
+        burst = build_scenario("zipf-burst", requests=requests_n).synthesize(
+            model_ids, seed=0
+        )
+        report = replay(GatewayClient(LoopbackTransport(limited_gateway)), burst)
+        if report.hung or report.failed or report.rejected < 1:
+            print(
+                f"FAIL: rate-limited burst must shed cleanly "
+                f"(rejected {report.rejected}, failed {report.failed}, "
+                f"hung {report.hung})"
+            )
+            return 1
+        print(
+            f"rate limit: {report.rejected}/{report.requests} shed with "
+            f"RESOURCE_EXHAUSTED, {report.completed} served, 0 hung"
+        )
+        records.append(
+            {"name": "ratelimit_rejection_rate", "unit": "ratio",
+             "value": report.rejected / max(1, report.requests)}
+        )
+    finally:
+        cluster.shutdown()
+
+    if args.json:
+        write_records(
+            args.json,
+            "gateway_transports",
+            {
+                "tenants": tenants,
+                "requests": requests_n,
+                "shards": shards,
+                "capacity": capacity,
+                "scenario": SCENARIO,
+            },
+            records,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

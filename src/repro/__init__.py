@@ -10,10 +10,13 @@ Package layout
 * :mod:`repro.hw` — analytical sparse-accelerator latency/energy models.
 * :mod:`repro.serve` — multi-tenant serving: model registry, engine cache,
   micro-batching scheduler and the :class:`~repro.serve.PersonalizationService`.
+* :mod:`repro.errors` — the serving error taxonomy (stable ``ApiError`` codes).
+* :mod:`repro.gateway` — Serving API v2: one versioned gateway (middleware,
+  typed clients, loopback/HTTP transports) over every serving backend.
 * :mod:`repro.experiments` — one runner per paper figure/table.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from . import nn
 from . import data
@@ -21,7 +24,9 @@ from . import sparsity
 from . import backend
 from . import pruning
 from . import hw
+from . import errors
 from . import serve
+from . import gateway
 from . import experiments
 
 __all__ = [
@@ -31,7 +36,9 @@ __all__ = [
     "backend",
     "pruning",
     "hw",
+    "errors",
     "serve",
+    "gateway",
     "experiments",
     "__version__",
 ]

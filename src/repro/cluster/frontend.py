@@ -33,12 +33,13 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..errors import NotFoundError, UnavailableError
 from ..serve.registry import ModelRegistry
 from ..serve.service import PersonalizationService, ServiceConfig
 from ..serve.types import PredictRequest, PredictResponse
 from .router import ConsistentHashRouter
 from .shard import ShardOverloadError, ShardWorker
-from .telemetry import LatencyHistogram, merge_snapshots
+from .telemetry import LatencyHistogram, assert_stats_schema, merge_snapshots
 
 __all__ = ["ClusterConfig", "ClusterService", "RejectedResponse", "WORKER_KINDS"]
 
@@ -295,7 +296,7 @@ class ClusterService:
 
     def _ensure_open(self) -> None:
         if self._closed:
-            raise RuntimeError("ClusterService is shut down")
+            raise UnavailableError("ClusterService is shut down")
 
     # -- personalization ----------------------------------------------------------
     def personalize(self, request, **overrides) -> str:
@@ -320,13 +321,14 @@ class ClusterService:
         the high-water mark (or is outright full), the future resolves
         immediately to a :class:`RejectedResponse` with ``status == 503``
         instead of queueing unboundedly.  Unknown model ids fail the future
-        with the registry's ``KeyError`` without poisoning a shard batch.
+        with :class:`~repro.errors.NotFoundError` (a ``KeyError``) without
+        poisoning a shard batch.
         """
         self._ensure_open()
         future: Future = Future()
         if request.model_id not in self.registry:
             future.set_exception(
-                KeyError(
+                NotFoundError(
                     f"Unknown model id {request.model_id!r}; "
                     f"registered: {self.registry.ids()}"
                 )
@@ -418,6 +420,11 @@ class ClusterService:
         ``totals["latency"]`` percentiles come from :meth:`merged_latency`,
         i.e. from the merged per-shard reservoirs, not from any attempt to
         combine per-shard percentile summaries.
+
+        The top-level ``latency`` / ``cache`` / ``queue`` / ``errors`` blocks
+        follow the unified serving schema
+        (:func:`~repro.cluster.telemetry.assert_stats_schema`) shared with
+        ``PersonalizationService.stats()`` and ``Gateway.stats()``.
         """
         per_shard = [self._workers[sid].stats() for sid in sorted(self._workers)]
         totals = merge_snapshots([shard["telemetry"] for shard in per_shard])
@@ -428,15 +435,26 @@ class ClusterService:
         }
         lookups = cache_totals["hits"] + cache_totals["misses"]
         cache_totals["hit_rate"] = cache_totals["hits"] / lookups if lookups else 0.0
-        return {
-            "models": len(self.registry),
-            "shards": self.shards,
-            "workers": self.cluster.workers,
-            "router": self.router.stats(),
-            "cache": cache_totals,
-            "totals": totals,
-            "per_shard": per_shard,
-        }
+        return assert_stats_schema(
+            {
+                "models": len(self.registry),
+                "shards": self.shards,
+                "workers": self.cluster.workers,
+                "router": self.router.stats(),
+                "latency": totals["latency"],
+                "cache": cache_totals,
+                "queue": {
+                    "pending": sum(shard["pending"] for shard in per_shard),
+                    "max_depth": totals["queue_depth"]["max"],
+                },
+                "errors": {
+                    "failed": totals["failed"],
+                    "rejected": totals["rejected"],
+                },
+                "totals": totals,
+                "per_shard": per_shard,
+            }
+        )
 
     def save(self, root) -> None:
         """Persist every registered model (same layout as the inner service)."""

@@ -24,6 +24,7 @@ import time
 from concurrent.futures import Future
 from typing import List, Optional
 
+from ..errors import UnavailableError
 from ..serve.cache import EngineCache
 from ..serve.scheduler import BatchScheduler
 from ..serve.types import PredictRequest
@@ -32,18 +33,24 @@ from .telemetry import ShardTelemetry
 __all__ = ["ShardWorker", "ShardOverloadError", "ShardKilledError"]
 
 
-class ShardOverloadError(RuntimeError):
-    """A shard's bounded queue is full — the 503 of the serving runtime."""
+class ShardOverloadError(UnavailableError):
+    """A shard's bounded queue is full — the 503 of the serving runtime.
+
+    An :class:`~repro.errors.UnavailableError` (code ``UNAVAILABLE``, still a
+    ``RuntimeError`` for pre-gateway callers): overload is transient, so the
+    gateway's retry middleware may re-attempt it.
+    """
 
     status = 503
 
 
-class ShardKilledError(RuntimeError):
+class ShardKilledError(UnavailableError):
     """The shard was killed abruptly (fault injection / crash simulation).
 
     Raised into every future the dead shard can no longer answer, and by
     :meth:`ShardWorker.submit` for traffic that keeps arriving afterwards —
-    a clean, immediate error instead of a hang.
+    a clean, immediate error instead of a hang.  Surfaces as code
+    ``UNAVAILABLE`` through the gateway (and stays a ``RuntimeError``).
     """
 
     status = 500
@@ -227,11 +234,11 @@ class ShardWorker(threading.Thread):
         """Block until every queued request has been dispatched and answered."""
         self._queue.join()
 
-    def _down_error(self) -> RuntimeError:
+    def _down_error(self) -> UnavailableError:
         """The error a dead shard answers with (kill vs orderly shutdown)."""
         if self._killed.is_set():
             return ShardKilledError(f"shard {self.shard_id!r} was killed")
-        return RuntimeError(f"shard {self.shard_id!r} is shut down")
+        return UnavailableError(f"shard {self.shard_id!r} is shut down")
 
     def _abort(self, items: List[_WorkItem]) -> None:
         """Fail ``items`` and everything still queued (killed-shard path)."""

@@ -20,7 +20,48 @@ import threading
 from collections import Counter, deque
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["LatencyHistogram", "ShardTelemetry", "merge_snapshots"]
+__all__ = [
+    "LatencyHistogram",
+    "ShardTelemetry",
+    "merge_snapshots",
+    "STATS_SCHEMA",
+    "assert_stats_schema",
+]
+
+#: The unified top-level stats schema every serving facade emits: block name
+#: -> fields the block must carry.  ``PersonalizationService.stats()``,
+#: ``ClusterService.stats()`` and ``Gateway.stats()`` all validate against
+#: this before returning, so dashboards read any deployment shape unchanged.
+STATS_SCHEMA: Dict[str, Tuple[str, ...]] = {
+    "latency": ("count", "mean_ms", "max_ms"),
+    "cache": ("hits", "misses", "evictions", "hit_rate"),
+    "queue": ("pending", "max_depth"),
+    "errors": ("failed", "rejected"),
+}
+
+
+def assert_stats_schema(stats: Dict[str, object]) -> Dict[str, object]:
+    """Validate (and return) a stats dict against :data:`STATS_SCHEMA`.
+
+    Raises ``AssertionError`` naming every missing block/field, so a schema
+    drift fails loudly at the facade that introduced it rather than in a
+    dashboard.  Blocks may carry *more* fields than the schema requires —
+    the contract is a shared floor, not a ceiling.
+    """
+    problems = []
+    for block_name, fields in STATS_SCHEMA.items():
+        block = stats.get(block_name)
+        if not isinstance(block, dict):
+            problems.append(f"missing block {block_name!r}")
+            continue
+        absent = [field for field in fields if field not in block]
+        if absent:
+            problems.append(f"block {block_name!r} missing fields {absent}")
+    if problems:
+        raise AssertionError(
+            "stats schema violation: " + "; ".join(problems)
+        )
+    return stats
 
 
 class LatencyHistogram:

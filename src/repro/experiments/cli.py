@@ -16,6 +16,8 @@ Installed as the ``repro-experiments`` console script; also runnable as
         --seed 0 --json                       # deterministic scenario replay
     python -m repro.experiments loadgen --scenario shard-failure --shards 3 \
         --measure --json slo.json             # chaos run + measured SLOReport
+    python -m repro.experiments loadgen --scenario steady-uniform --shards 2 \
+        --transport http --json               # replay over a real HTTP socket
 
 Each experiment prints the same rows/series the corresponding paper figure
 reports (at the reduced scale documented in EXPERIMENTS.md).  ``serve``
@@ -103,6 +105,7 @@ def _write_stats_json(path: str, report: Dict) -> None:
     payload = {
         "timings": report["timings"],
         "stats": report["stats"],
+        "gateway": report.get("gateway"),
         "cluster": report.get("cluster"),
     }
     with open(path, "w") as fh:
@@ -187,6 +190,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="override the scenario's request count (fault schedules rescale)",
     )
     loadgen_group.add_argument(
+        "--transport", choices=("local", "loopback", "http", "direct"),
+        default="local",
+        help="how the replay reaches the runtime: Serving API v2 in process "
+        "(local), GatewayClient over the JSON loopback wire, GatewayClient "
+        "over a real HTTP socket on an ephemeral port, or 'direct' — the "
+        "deprecated raw-facade entry point, auto-adapted to the same "
+        "backend as 'local'; default: local",
+    )
+    loadgen_group.add_argument(
         "--time-scale", type=float, default=1.0,
         help="virtual->wall pacing multiplier; 0 replays as fast as possible "
         "(default: 1.0)",
@@ -256,6 +268,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 cache_capacity=args.serve_capacity,
                 time_scale=args.time_scale,
                 backend=args.backend or "fast",
+                transport=args.transport,
                 smoke=args.smoke,
             )
         except ValueError as exc:

@@ -26,6 +26,13 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..cluster import ClusterConfig, ClusterService
+from ..gateway import (
+    ClusterBackend,
+    Gateway,
+    GatewayClient,
+    LoopbackTransport,
+    serve_http,
+)
 from ..loadgen import (
     SCENARIOS,
     DriverConfig,
@@ -35,10 +42,20 @@ from ..loadgen import (
     synthetic_fleet,
 )
 
-__all__ = ["LoadgenConfig", "run_loadgen", "print_loadgen"]
+__all__ = ["LoadgenConfig", "run_loadgen", "print_loadgen", "TRANSPORTS"]
 
 #: --smoke shrinks every scenario to this many requests.
 SMOKE_REQUESTS = 16
+
+#: How the driver reaches the serving runtime:
+#: * ``local`` — Serving API v2 in process (ClusterBackend; async futures);
+#: * ``loopback`` — GatewayClient through the full JSON wire, in process;
+#: * ``http`` — GatewayClient over a real socket (ephemeral
+#:   ThreadingHTTPServer booted for the run);
+#: * ``direct`` — deprecated alias: the raw ClusterService is handed to the
+#:   driver, which auto-adapts it onto the same ClusterBackend ``local``
+#:   builds explicitly (the old entry point, one shim away from the new).
+TRANSPORTS = ("local", "loopback", "http", "direct")
 
 
 @dataclass
@@ -53,12 +70,17 @@ class LoadgenConfig:
     cache_capacity: int = 2
     time_scale: float = 1.0
     backend: str = "fast"  #: compute backend the tenant engines pin
+    transport: str = "local"  #: see TRANSPORTS
     smoke: bool = False
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIOS:
             raise ValueError(
                 f"unknown scenario {self.scenario!r}; available: {sorted(SCENARIOS)}"
+            )
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; available: {TRANSPORTS}"
             )
         for name in ("shards", "tenants", "cache_capacity"):
             if getattr(self, name) < 1:
@@ -71,10 +93,18 @@ class LoadgenConfig:
             self.requests = SMOKE_REQUESTS
         # A one-shard fleet has nothing to fail over to: shard-kill chaos
         # needs at least two shards to demonstrate heal/reroute.
-        actions = {f.action for f in SCENARIOS[self.scenario]().faults}
+        faults = SCENARIOS[self.scenario]().faults
+        actions = {f.action for f in faults}
         if self.shards < 2 and "kill_shard" in actions:
             raise ValueError(
                 f"scenario {self.scenario!r} kills a shard; run it with --shards >= 2"
+            )
+        # The gateway client transports are synchronous; fault schedules need
+        # the async cluster target to race faults against in-flight futures.
+        if faults and self.transport in ("loopback", "http"):
+            raise ValueError(
+                f"chaos scenario {self.scenario!r} needs an async cluster "
+                "target; use --transport local (or direct)"
             )
 
 
@@ -86,6 +116,16 @@ def run_loadgen(config: LoadgenConfig) -> Tuple[SLOReport, Dict[str, object]]:
     their outcome counts deterministic.  Scenarios that exist to exercise
     admission control (e.g. ``slow-shard``) declare their own ``high_water``
     and genuinely reject under backlog, by design.
+
+    The replay reaches the cluster through ``config.transport``: the
+    Serving API v2 backend in process (``local``), a ``GatewayClient`` over
+    the loopback wire or a real HTTP socket, or the deprecated raw-facade
+    path (``direct``).  Outcome counts and the predictions digest are
+    transport-invariant by construction; the plan's ``per_shard`` view is
+    not — a wire client sees one opaque endpoint, so it reports the whole
+    plan under shard "0" while in-process targets report true placement.
+    Byte-compare artifacts per transport (as CI does for loopback vs HTTP),
+    or compare digests across transports.
     """
     scenario = build_scenario(config.scenario, requests=config.requests)
     registry, model_ids = synthetic_fleet(
@@ -102,9 +142,21 @@ def run_loadgen(config: LoadgenConfig) -> Tuple[SLOReport, Dict[str, object]]:
         # deterministic scenarios never shed load for capacity reasons.
         high_water=min(scenario.high_water or max_pending, max_pending),
     )
+    driver_config = DriverConfig(time_scale=config.time_scale)
     with ClusterService(cluster_config, registry=registry) as cluster:
-        driver = LoadDriver(cluster, DriverConfig(time_scale=config.time_scale))
-        report = driver.run(workload)
+        if config.transport == "direct":
+            report = LoadDriver(cluster, driver_config).run(workload)
+        elif config.transport == "local":
+            report = LoadDriver(ClusterBackend(cluster), driver_config).run(workload)
+        else:
+            gateway = Gateway(ClusterBackend(cluster))
+            if config.transport == "loopback":
+                client = GatewayClient(LoopbackTransport(gateway))
+                report = LoadDriver(client, driver_config).run(workload)
+            else:  # http: a real socket on an ephemeral port
+                with serve_http(gateway) as server:
+                    with GatewayClient(server.transport()) as client:
+                        report = LoadDriver(client, driver_config).run(workload)
     return report, report.to_dict(timing=False)
 
 

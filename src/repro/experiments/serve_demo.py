@@ -10,7 +10,12 @@ stream over their validation data, and replays it twice:
   :class:`~repro.serve.BatchScheduler` fuses each tenant's requests into a
   single dispatch.
 
-With ``shards > 1`` the identical stream is replayed a third time through a
+Both replays go through the Serving API v2 surface
+(:class:`~repro.gateway.LocalBackend`), and the stream is additionally
+replayed through a full :class:`~repro.gateway.Gateway` loopback wire
+round-trip (envelope → middleware → router → backend and back) to show the
+gateway's overhead next to the raw facade.  With ``shards > 1`` the
+identical stream is replayed once more through a
 :class:`~repro.cluster.ClusterService` (consistent-hash routing, one worker
 thread per shard), and the cluster's telemetry — per-shard latency
 percentiles, queue depths, batch-size distribution — joins the report.
@@ -27,6 +32,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..gateway import Gateway, GatewayClient, LocalBackend, LoopbackTransport
 from ..serve import EngineSpec, PersonalizeRequest, PredictRequest
 from .common import ExperimentScale, TINY_SCALE, format_table, make_service
 
@@ -105,22 +111,39 @@ def run_serve_demo(config: Optional[ServeDemoConfig] = None) -> Dict:
 
     requests = _request_stream(service, config, model_ids)
 
+    # Every replay goes through the Serving API v2 surface; the raw service
+    # keeps working underneath it (LocalBackend is a thin adapter).
+    api = LocalBackend(service)
+
     # Warm both dispatch shapes (engine build + im2col workspaces) so the
     # timed replays compare steady-state serving, not first-call allocation.
-    service.predict_batch(list(requests))
-    service.predict(requests[0].model_id, requests[0].inputs)
+    api.predict_batch(list(requests))
+    api.predict(requests[0])
 
     # Per-request replay: one flush per request (no micro-batching possible).
     start = time.perf_counter()
-    solo = [service.predict(r.model_id, r.inputs, request_id=r.request_id) for r in requests]
+    solo = [api.predict(r) for r in requests]
     per_request_s = time.perf_counter() - start
 
     # Micro-batched replay of the identical stream.
     start = time.perf_counter()
-    batched = service.predict_batch(requests)
+    batched = api.predict_batch(requests)
     batched_s = time.perf_counter() - start
 
     for a, b in zip(solo, batched):
+        np.testing.assert_array_equal(a.classes, b.classes)
+
+    # Gateway replay: the same stream through the full loopback wire
+    # (JSON envelope -> middleware -> router -> backend), per request.
+    gateway = Gateway(api)
+    client = GatewayClient(LoopbackTransport(gateway))
+    start = time.perf_counter()
+    gatewayed = [
+        client.predict(r.model_id, r.inputs, request_id=r.request_id)
+        for r in requests
+    ]
+    gateway_s = time.perf_counter() - start
+    for a, b in zip(batched, gatewayed):
         np.testing.assert_array_equal(a.classes, b.classes)
 
     cluster_report = None
@@ -165,8 +188,10 @@ def run_serve_demo(config: Optional[ServeDemoConfig] = None) -> Dict:
             "per_request_s": per_request_s,
             "batched_s": batched_s,
             "speedup": per_request_s / max(batched_s, 1e-12),
+            "gateway_s": gateway_s,
         },
-        "stats": service.stats(),
+        "stats": api.stats(),
+        "gateway": gateway.stats()["gateway"],
         "cluster": cluster_report,
     }
 
@@ -187,6 +212,12 @@ def print_serve_demo(config: Optional[ServeDemoConfig] = None) -> Dict:
         f"\nreplay: per-request {t['per_request_s'] * 1e3:.1f}ms, "
         f"micro-batched {t['batched_s'] * 1e3:.1f}ms "
         f"({t['speedup']:.1f}x, identical predictions)"
+    )
+    gateway = report["gateway"]
+    print(
+        f"gateway: loopback wire replay {t['gateway_s'] * 1e3:.1f}ms "
+        f"({gateway['per_route']['predict']['requests']} calls through "
+        "validation/metrics middleware, identical predictions)"
     )
     cluster = report.get("cluster")
     if cluster is not None:

@@ -1,0 +1,268 @@
+"""Gateway transports: in-process loopback and a threaded HTTP server.
+
+Both transports speak the identical wire contract — a JSON
+:class:`~repro.gateway.wire.ApiRequest` in, a JSON
+:class:`~repro.gateway.wire.ApiResponse` out — and both route through
+``Gateway.handle_envelope``, so swapping one for the other changes latency
+and nothing else.  The loopback transport serializes through JSON even
+though it never leaves the process: wire-faithfulness is the point, and it
+is what makes "loopback and HTTP answers are bit-identical" a testable
+invariant rather than a hope.
+
+The HTTP side is stdlib-only (:class:`http.server.ThreadingHTTPServer` +
+:class:`http.client.HTTPConnection`): POST the request envelope to ``/v2``;
+the HTTP status code mirrors the taxonomy code's projection (200 / 400 /
+404 / 429 / 503 / 504 / 500) while the body always carries the full
+envelope.  ``GET /healthz`` answers the health route for probes.
+"""
+
+from __future__ import annotations
+
+import abc
+import http.client
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from ..errors import InvalidArgumentError, UnavailableError
+from .gateway import Gateway
+from .wire import ApiRequest, ApiResponse
+
+__all__ = [
+    "Transport",
+    "LoopbackTransport",
+    "HttpTransport",
+    "GatewayHTTPServer",
+    "serve_http",
+]
+
+#: The one resource the wire API lives under (version pinned in the path).
+WIRE_PATH = "/v2"
+
+
+class Transport(abc.ABC):
+    """One hop to a gateway: an envelope goes in, an envelope comes back."""
+
+    @abc.abstractmethod
+    def send(self, request: ApiRequest) -> ApiResponse:
+        """Deliver one request envelope; always returns a response envelope."""
+
+    def close(self) -> None:
+        """Release any connection state (idempotent)."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class _SendFailed(Exception):
+    """Internal marker: the POST failed before the request was accepted."""
+
+
+class LoopbackTransport(Transport):
+    """In-process transport through the full JSON wire path."""
+
+    def __init__(self, gateway: Gateway) -> None:
+        self.gateway = gateway
+
+    def send(self, request: ApiRequest) -> ApiResponse:
+        return ApiResponse.from_json(self.gateway.handle_json(request.to_json()))
+
+
+class HttpTransport(Transport):
+    """Client side of the HTTP wire: POST envelopes to a gateway server.
+
+    One persistent connection, serialized by a lock (HTTP/1.1 keep-alive);
+    a connection dropped between calls is re-established once.  Network
+    failures surface as ``UNAVAILABLE`` — transient by definition, so a
+    client-side retry middleware may re-attempt them.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._connection
+
+    def _post(self, body: bytes) -> bytes:
+        connection = self._connect()
+        try:
+            connection.request(
+                "POST",
+                WIRE_PATH,
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+        except (ConnectionError, BrokenPipeError, http.client.CannotSendRequest) as exc:
+            # The request never made it out — safe to re-send once.
+            raise _SendFailed() from exc
+        response = connection.getresponse()
+        # The envelope is authoritative; the HTTP status merely mirrors it.
+        return response.read()
+
+    def send(self, request: ApiRequest) -> ApiResponse:
+        body = request.to_json().encode("utf-8")
+        with self._lock:
+            try:
+                try:
+                    raw = self._post(body)
+                except _SendFailed:
+                    # Stale keep-alive connection detected before any bytes
+                    # were accepted: reconnect and re-send once.  Failures
+                    # *after* the send (no response / dropped mid-response)
+                    # are never silently replayed — the server may already
+                    # have executed a non-idempotent call like personalize.
+                    self._drop_connection()
+                    raw = self._post(body)
+            except _SendFailed as exc:
+                self._drop_connection()
+                raise UnavailableError(
+                    f"gateway at {self.host}:{self.port} unreachable: "
+                    f"{exc.__cause__}",
+                    details={"exception": type(exc.__cause__).__name__},
+                ) from exc.__cause__
+            except (OSError, http.client.HTTPException) as exc:
+                self._drop_connection()
+                raise UnavailableError(
+                    f"gateway at {self.host}:{self.port} failed mid-call "
+                    f"(not retried: the request may have executed): {exc}",
+                    details={"exception": type(exc).__name__},
+                ) from exc
+        return ApiResponse.from_json(raw.decode("utf-8"))
+
+    def _drop_connection(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_connection()
+
+
+class _GatewayRequestHandler(BaseHTTPRequestHandler):
+    """Maps HTTP onto the gateway wire contract (POST /v2, GET /healthz)."""
+
+    server_version = "repro-gateway/2"
+    protocol_version = "HTTP/1.1"  # keep-alive, so HttpTransport can reuse
+
+    def _reply(self, response: ApiResponse) -> None:
+        body = response.to_json().encode("utf-8")
+        self.send_response(response.http_status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        # Always drain the body first: an unread body would be parsed as the
+        # next request line on this keep-alive connection.
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length)
+        if self.path != WIRE_PATH:
+            self._reply(
+                ApiResponse.failure(
+                    None,
+                    InvalidArgumentError(
+                        f"unknown path {self.path!r}; the API lives at {WIRE_PATH}"
+                    ),
+                )
+            )
+            return
+        self._reply(self.server.gateway.handle_envelope(raw))
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path in ("/healthz", WIRE_PATH + "/health"):
+            self._reply(self.server.gateway.handle(ApiRequest("health")))
+            return
+        self._reply(
+            ApiResponse.failure(
+                None,
+                InvalidArgumentError(
+                    f"unknown path {self.path!r}; POST envelopes to {WIRE_PATH} "
+                    "or GET /healthz"
+                ),
+            )
+        )
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence the per-request stderr chatter (telemetry covers it)."""
+
+
+class GatewayHTTPServer(ThreadingHTTPServer):
+    """A gateway served over a socket by one thread per connection.
+
+    Bind with ``port=0`` for an ephemeral port (what tests and CI do), read
+    it back from :attr:`port`, and drive the server from a background thread
+    with :meth:`start` / :meth:`stop` (or the context manager, which does
+    both).  ``daemon_threads`` keeps stray keep-alive connections from
+    wedging interpreter shutdown.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, gateway: Gateway, host: str = "127.0.0.1", port: int = 0) -> None:
+        super().__init__((host, port), _GatewayRequestHandler)
+        self.gateway = gateway
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}{WIRE_PATH}"
+
+    def start(self) -> "GatewayHTTPServer":
+        """Serve from a daemon thread (idempotent); returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever,
+                name=f"repro-gateway-http-{self.port}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is not None:
+            self.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.server_close()
+
+    def transport(self, timeout_s: float = 30.0) -> HttpTransport:
+        """A client transport pointed at this server."""
+        return HttpTransport(self.host, self.port, timeout_s=timeout_s)
+
+    def __enter__(self) -> "GatewayHTTPServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def serve_http(
+    gateway: Gateway, host: str = "127.0.0.1", port: int = 0
+) -> GatewayHTTPServer:
+    """Boot a started :class:`GatewayHTTPServer` for ``gateway``.
+
+    ``port=0`` binds an ephemeral port; the caller reads ``server.port``.
+    """
+    return GatewayHTTPServer(gateway, host=host, port=port).start()

@@ -276,7 +276,11 @@ def workloads_from_service(
 ) -> List[LayerWorkload]:
     """Extract workloads for one registered tenant of a serving facade.
 
-    Accepts anything with the facade's ``engine(model_id)`` contract:
+    Accepts anything with the facade's ``engine(model_id)`` contract —
+    including the Serving API v2 backends
+    (:class:`~repro.gateway.LocalBackend`,
+    :class:`~repro.gateway.ClusterBackend`), which is the canonical way in;
+    the raw facades below keep working as deprecation shims:
 
     * a :class:`~repro.serve.PersonalizationService` — the engine comes from
       the single-process cache;

@@ -1,12 +1,23 @@
-"""The load driver: replay a synthesized workload against a service facade.
+"""The load driver: replay a synthesized workload against a serving target.
 
-:class:`LoadDriver` is deployment-agnostic: anything exposing the
-``submit(request) -> Future`` surface (:class:`~repro.cluster.ClusterService`)
-is driven asynchronously with open-loop pacing or closed-loop windowing,
-and anything exposing only the synchronous ``predict`` surface
-(:class:`~repro.serve.PersonalizationService`) is driven call-by-call.  Both
-paths record identical :class:`~repro.loadgen.report.RequestOutcome` streams
-into an :class:`~repro.loadgen.report.SLOReport`.
+:class:`LoadDriver` drives the Serving API v2 surface
+(:class:`~repro.gateway.ServingAPI`): anything exposing the async
+``submit(request) -> Future`` surface (a
+:class:`~repro.gateway.ClusterBackend`) is driven asynchronously with
+open-loop pacing or closed-loop windowing, and synchronous targets — a
+:class:`~repro.gateway.LocalBackend` or a
+:class:`~repro.gateway.GatewayClient` pointed at a loopback or HTTP
+transport — are driven call-by-call.  Both paths record identical
+:class:`~repro.loadgen.report.RequestOutcome` streams into an
+:class:`~repro.loadgen.report.SLOReport`.
+
+Pre-gateway facades (:class:`~repro.cluster.ClusterService`,
+:class:`~repro.serve.PersonalizationService`) are still accepted and are
+adapted through :func:`~repro.gateway.as_serving_api` on construction — the
+deprecation shim that keeps the old entry point alive.  Taxonomy errors
+(:class:`~repro.errors.ApiError`) map onto outcome statuses by code:
+``RESOURCE_EXHAUSTED`` / ``UNAVAILABLE`` count as *rejected* (load shed, by
+design), everything else as *failed*.
 
 Pacing: open-loop workloads sleep until each request's virtual arrival
 offset times ``time_scale``.  ``time_scale=1`` replays the scenario's
@@ -32,6 +43,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import ApiError
 from .faults import FaultInjector
 from .report import (
     STATUS_FAILED,
@@ -62,15 +74,25 @@ class DriverConfig:
 
 
 class LoadDriver:
-    """Replays workloads against one service facade and scores the run."""
+    """Replays workloads against one Serving API v2 target and scores the run."""
 
     def __init__(self, service, config: Optional[DriverConfig] = None) -> None:
-        self.service = service
+        # Deferred import: repro.gateway layers on repro.loadgen's siblings.
+        from ..gateway.api import ServingAPI, as_serving_api
+        from ..gateway.client import GatewayClient
+
+        self.service = service  # as handed in (back-compat surface)
+        if isinstance(service, (ServingAPI, GatewayClient)):
+            self.target = service
+        else:
+            # Deprecation shim: adapt pre-gateway facades onto Serving API v2.
+            self.target = as_serving_api(service)
+        self._wire_client = isinstance(service, GatewayClient)
         self.config = config or DriverConfig()
 
     # -- report scaffolding ------------------------------------------------------
     def _is_async(self) -> bool:
-        return hasattr(self.service, "submit")
+        return hasattr(self.target, "submit")
 
     def _per_shard_planned(self, workload: Workload) -> Dict[str, int]:
         """Planned request count per shard under the current placement.
@@ -78,18 +100,37 @@ class LoadDriver:
         Deterministic: placement depends only on the registry contents and
         the shard set, and the workload's tenant sequence is seeded.
         """
-        if not hasattr(self.service, "worker_for"):
+        if not hasattr(self.target, "worker_for"):
             return {"0": len(workload)}
         counts: Dict[str, int] = {
-            str(shard_id): 0 for shard_id in self.service.shard_ids()
+            str(shard_id): 0 for shard_id in self.target.shard_ids()
         }
         for item in workload.scheduled:
-            shard = self.service.worker_for(item.request.model_id).shard_id
+            shard = self.target.worker_for(item.request.model_id).shard_id
             counts[str(shard)] += 1
         return counts
 
+    def _cluster_stats(self) -> Optional[Dict]:
+        """The target's cluster-shaped stats, if it exposes any.
+
+        Wire clients (``GatewayClient``) report the remote deployment's
+        stats dict; only dicts carrying the cluster schema (``totals`` /
+        ``per_shard``) are usable by the SLO report's cluster block.
+        """
+        if not hasattr(self.target, "stats"):
+            return None
+        stats = self.target.stats()
+        if isinstance(stats, dict) and "totals" in stats:
+            return stats
+        return None
+
     def _new_report(self, workload: Workload) -> SLOReport:
-        shards = getattr(self.service, "shards", 1)
+        shards = getattr(self.target, "shards", None)
+        if not isinstance(shards, int):
+            # A wire client has no local topology; ask the deployment's
+            # stats for its shard count so the report doesn't claim 1.
+            stats = self._cluster_stats()
+            shards = stats.get("shards", 1) if stats else 1
         return SLOReport(
             scenario=workload.scenario.to_dict(),
             plan=workload.plan_dict(),
@@ -102,8 +143,8 @@ class LoadDriver:
         """Replay ``workload`` and return its :class:`SLOReport`."""
         if workload.faults and not self._is_async():
             raise ValueError(
-                "fault-injection scenarios need a ClusterService "
-                "(the single-process facade has no shards to break)"
+                "fault-injection scenarios need a ClusterService-backed "
+                "target (the synchronous facades have no shards to break)"
             )
         report = self._new_report(workload)
         if self._is_async():
@@ -121,7 +162,10 @@ class LoadDriver:
             report.fault_log.append(entry)
 
     def _run_async(self, workload: Workload, report: SLOReport) -> None:
-        injector = FaultInjector(self.service) if workload.faults else None
+        # Fault injection drives the raw cluster's chaos seams, so unwrap
+        # the ClusterBackend adapter (a raw ClusterService passes through).
+        cluster = getattr(self.target, "cluster", self.target)
+        injector = FaultInjector(cluster) if workload.faults else None
         faults: Dict[int, List] = {}
         for event in workload.faults:
             faults.setdefault(event.at_request, []).append(event)
@@ -151,7 +195,7 @@ class LoadDriver:
                 if delay > 0:
                     time.sleep(delay)
             submitted = time.perf_counter()
-            future = self.service.submit(item.request)
+            future = self.target.submit(item.request)
             marks: Dict[str, float] = {}
 
             def _on_done(f: Future, marks: Dict[str, float] = marks) -> None:
@@ -216,11 +260,30 @@ class LoadDriver:
         report.elapsed_s = max(last_done - start, 1e-12)
         if injector is not None:
             injector.restore_all()
-        if self.config.record_cluster_stats and hasattr(self.service, "stats"):
-            report.cluster_stats = self.service.stats()
+        if self.config.record_cluster_stats:
+            report.cluster_stats = self._cluster_stats()
+
+    def _predict_one(self, request):
+        """One synchronous call through whichever facade shape the target has."""
+        if self._wire_client:
+            # GatewayClient keeps the classic (model_id, batch) convention.
+            return self.target.predict(
+                request.model_id, request.inputs, request_id=request.request_id
+            )
+        return self.target.predict(request)
+
+    @staticmethod
+    def _error_status(exc: Exception) -> int:
+        """Map an exception to an outcome status (shed load is *rejected*)."""
+        if isinstance(exc, ApiError) and exc.code in (
+            "RESOURCE_EXHAUSTED",
+            "UNAVAILABLE",
+        ):
+            return STATUS_REJECTED
+        return STATUS_FAILED
 
     def _run_sync(self, workload: Workload, report: SLOReport) -> None:
-        """Call-by-call replay for facades without an async submit surface."""
+        """Call-by-call replay for targets without an async submit surface."""
         scale = self.config.time_scale
         start = time.perf_counter()
         for item in workload.scheduled:
@@ -231,17 +294,13 @@ class LoadDriver:
                     time.sleep(delay)
             submitted = time.perf_counter()
             try:
-                response = self.service.predict(
-                    item.request.model_id,
-                    item.request.inputs,
-                    request_id=item.request.request_id,
-                )
+                response = self._predict_one(item.request)
             except Exception as exc:
                 report.record(
                     RequestOutcome(
                         item.request.request_id,
                         item.request.model_id,
-                        STATUS_FAILED,
+                        self._error_status(exc),
                         latency_s=time.perf_counter() - submitted,
                         error=type(exc).__name__,
                     )
@@ -255,3 +314,8 @@ class LoadDriver:
             )
             report.record_prediction(item.request.request_id, response.logits)
         report.elapsed_s = max(time.perf_counter() - start, 1e-12)
+        # Wire clients see the remote cluster's stats too — the SLO artifact
+        # keeps its cluster block (merged p99, per-shard completions)
+        # whichever transport carried the replay.
+        if self.config.record_cluster_stats:
+            report.cluster_stats = self._cluster_stats()

@@ -14,6 +14,7 @@ import re
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Set
 
+from ..errors import InvalidArgumentError
 from .cache import EngineCache
 from .types import PredictRequest, PredictResponse
 
@@ -39,13 +40,16 @@ class BatchScheduler:
         self.requests_served = 0
         self.dispatches = 0
         self.largest_group = 0
+        self.depth_max = 0  #: deepest the queue has ever been
 
     def submit(self, request: PredictRequest) -> str:
         """Enqueue one request, assigning a request id if it has none.
 
         Ids must be unique among pending requests — a duplicate would make
         two responses indistinguishable — so resubmitting a pending id raises
-        ``ValueError``.  The id counter only advances when the scheduler
+        :class:`~repro.errors.InvalidArgumentError` (a ``ValueError``, so
+        pre-gateway callers keep catching it).  The id counter only advances
+        when the scheduler
         generates an id, and a caller-provided id in the generated
         ``req-NNNNNN`` namespace bumps the counter past it so the generator
         never collides with it.
@@ -55,7 +59,7 @@ class BatchScheduler:
             self._next_id += 1
         else:
             if request.request_id in self._pending_ids:
-                raise ValueError(
+                raise InvalidArgumentError(
                     f"duplicate request id {request.request_id!r} is already pending"
                 )
             squatted = _GENERATED_ID.fullmatch(request.request_id)
@@ -63,6 +67,7 @@ class BatchScheduler:
                 self._next_id = max(self._next_id, int(squatted.group(1)) + 1)
         self._pending_ids.add(request.request_id)
         self._queue.append(request)
+        self.depth_max = max(self.depth_max, len(self._queue))
         return request.request_id
 
     @property
@@ -137,4 +142,5 @@ class BatchScheduler:
             "dispatches": self.dispatches,
             "largest_group": self.largest_group,
             "max_batch_size": self.max_batch_size,
+            "depth_max": self.depth_max,
         }

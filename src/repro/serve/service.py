@@ -17,6 +17,7 @@ same functions.
 from __future__ import annotations
 
 import copy
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -177,10 +178,16 @@ class PersonalizationService:
         config: Optional[ServiceConfig] = None,
         registry: Optional[ModelRegistry] = None,
     ) -> None:
+        # Deferred import: repro.cluster layers on repro.serve, so importing
+        # its telemetry at module scope would be circular.
+        from ..cluster.telemetry import LatencyHistogram
+
         self.config = config or ServiceConfig()
         self.registry = registry or ModelRegistry()
         self.cache = EngineCache(self.registry, capacity=self.config.cache_capacity)
         self.scheduler = BatchScheduler(self.cache, max_batch_size=self.config.max_batch_size)
+        self.latency = LatencyHistogram()
+        self.failed = 0
         self._datasets: Dict[int, SyntheticImageDataset] = {}
 
     # -- data -----------------------------------------------------------------
@@ -305,19 +312,52 @@ class PersonalizationService:
         return self.predict_batch([PredictRequest(model_id, batch, request_id)])[0]
 
     def predict_batch(self, requests: Sequence[PredictRequest]) -> List[PredictResponse]:
-        """Answer a mixed-tenant request batch through the micro-batching scheduler."""
-        return self.scheduler.dispatch(requests)
+        """Answer a mixed-tenant request batch through the micro-batching scheduler.
+
+        Each answered request records the dispatch's wall-clock time into the
+        service latency histogram (that *is* the latency a synchronous caller
+        observed); failed dispatches count into the ``errors`` stats block.
+        """
+        start = time.perf_counter()
+        try:
+            responses = self.scheduler.dispatch(requests)
+        except Exception:
+            self.failed += len(requests)
+            raise
+        elapsed = time.perf_counter() - start
+        for _ in responses:
+            self.latency.record(elapsed)
+        return responses
 
     # -- introspection / persistence ------------------------------------------
     def model_ids(self) -> List[str]:
         return self.registry.ids()
 
     def stats(self) -> Dict[str, object]:
-        return {
-            "models": len(self.registry),
-            "cache": self.cache.stats(),
-            "scheduler": self.scheduler.stats(),
-        }
+        """Service counters in the unified serving schema.
+
+        The top-level ``latency`` / ``cache`` / ``queue`` / ``errors`` blocks
+        are the cross-deployment contract (validated by
+        :func:`repro.cluster.telemetry.assert_stats_schema` and shared with
+        ``ClusterService.stats()`` and ``Gateway.stats()``); ``models`` and
+        ``scheduler`` are this facade's own extras.
+        """
+        from ..cluster.telemetry import assert_stats_schema
+
+        scheduler = self.scheduler.stats()
+        return assert_stats_schema(
+            {
+                "models": len(self.registry),
+                "latency": self.latency.summary(),
+                "cache": self.cache.stats(),
+                "queue": {
+                    "pending": scheduler["pending"],
+                    "max_depth": scheduler["depth_max"],
+                },
+                "errors": {"failed": self.failed, "rejected": 0},
+                "scheduler": scheduler,
+            }
+        )
 
     def save(self, root) -> None:
         """Persist every registered model under ``root`` (registry layout)."""
