@@ -18,6 +18,13 @@ That locality is what the sharded runtime is *for*, and it is where the
 service that magically fits every tenant is also measured as the no-thrash
 reference point).  Predictions are asserted identical across deployments.
 
+The script mode additionally runs the **threaded-vs-process head-to-head**:
+the same scenario and seed served by ``workers="process"`` shards (children
+on zero-copy shared-memory weights), reporting per-mode throughput and p99
+and — on hosts with >=4 cores — asserting the process shards beat the
+GIL-bound threaded shards by >=1.5x.  On smaller hosts the target is
+skipped with the reason recorded in the JSON payload.
+
 Run under pytest-benchmark for the tracked numbers::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_cluster.py --benchmark-only
@@ -28,6 +35,7 @@ or as a script (the CI smoke run)::
 """
 
 import argparse
+import os
 
 import numpy as np
 import pytest
@@ -61,10 +69,10 @@ def make_single(registry, capacity):
     )
 
 
-def make_cluster(registry, shards, capacity):
+def make_cluster(registry, shards, capacity, workers="threaded"):
     """A started sharded runtime over the same registry (same per-worker budget)."""
     return ClusterService(
-        ClusterConfig(shards=shards, cache_capacity=capacity),
+        ClusterConfig(shards=shards, cache_capacity=capacity, workers=workers),
         registry=registry,
     )
 
@@ -81,21 +89,34 @@ def cluster_setup():
     cluster = make_cluster(registry, SHARDS, CAPACITY)
     replay_windows(single.predict_batch, requests)  # warm (what fits, fits)
     replay_windows(cluster.predict_batch, requests)
-    yield single, cluster, requests
+    yield registry, single, cluster, requests
     cluster.shutdown()
 
 
 @pytest.mark.benchmark(group="cluster")
 def test_single_bounded_dispatch(benchmark, cluster_setup):
-    single, _, requests = cluster_setup
+    _, single, _, requests = cluster_setup
     responses = benchmark(replay_windows, single.predict_batch, requests)
     assert len(responses) == len(requests)
 
 
 @pytest.mark.benchmark(group="cluster")
 def test_cluster_dispatch(benchmark, cluster_setup):
-    _, cluster, requests = cluster_setup
+    _, _, cluster, requests = cluster_setup
     responses = benchmark(replay_windows, cluster.predict_batch, requests)
+    assert len(responses) == len(requests)
+    assert all(r.status == 200 for r in responses)
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_process_cluster_dispatch(benchmark, cluster_setup):
+    registry, _, _, requests = cluster_setup
+    cluster = make_cluster(registry, SHARDS, CAPACITY, workers="process")
+    try:
+        replay_windows(cluster.predict_batch, requests)  # warm the shard caches
+        responses = benchmark(replay_windows, cluster.predict_batch, requests)
+    finally:
+        cluster.shutdown()
     assert len(responses) == len(requests)
     assert all(r.status == 200 for r in responses)
 
@@ -145,14 +166,19 @@ def main(argv=None) -> int:
     single = make_single(registry, capacity)
     unbounded = make_single(registry, tenants)  # no-thrash reference point
     cluster = make_cluster(registry, shards, capacity)
+    process_cluster = make_cluster(registry, shards, capacity, workers="process")
     try:
-        # Warm every deployment and pin prediction parity across all three.
+        # Warm every deployment and pin prediction parity across all four:
+        # the process shards must serve the exact bits the threaded shards
+        # and both single-process references do.
         base = replay_windows(single.predict_batch, requests, window)
         full = replay_windows(unbounded.predict_batch, requests, window)
         sharded = replay_windows(cluster.predict_batch, requests, window)
-        for a, b, c in zip(base, full, sharded):
+        proc = replay_windows(process_cluster.predict_batch, requests, window)
+        for a, b, c, d in zip(base, full, sharded, proc):
             np.testing.assert_array_equal(a.logits, b.logits)
             np.testing.assert_array_equal(a.logits, c.logits)
+            np.testing.assert_array_equal(a.logits, d.logits)
 
         t_single = best_of(replay_windows, single.predict_batch, requests, window,
                            repeat=repeat)
@@ -160,22 +186,48 @@ def main(argv=None) -> int:
                               repeat=repeat)
         t_cluster = best_of(replay_windows, cluster.predict_batch, requests, window,
                             repeat=repeat)
+        t_process = best_of(replay_windows, process_cluster.predict_batch, requests, window,
+                            repeat=repeat)
+        p99_cluster = cluster.stats()["totals"]["latency"]["p99_ms"]
+        p99_process = process_cluster.stats()["totals"]["latency"]["p99_ms"]
     finally:
         cluster.shutdown()
+        process_cluster.shutdown()
     speedup = t_single / t_cluster
+    process_speedup = t_cluster / t_process
+
+    # The threaded-vs-process head-to-head only means something with cores to
+    # run the shards on: under ~4 the children time-slice one or two cores
+    # and the pipe/serialization overhead is all that is measured.
+    cores = os.cpu_count() or 1
+    process_target = 1.5
+    process_skip = None if cores >= 4 else (
+        f"host has {cores} core(s) < 4: process-shard scaling not measurable"
+    )
 
     print(
         f"replaying {requests_n} single-image requests over {tenants} tenants "
         f"in windows of {window} (resnet_tiny, {spec.weight_format} weights, "
         f"{capacity} cache slots per worker)"
     )
-    print(f"{'deployment':>22} | {'latency':>10} | {'requests/s':>10}")
-    print(f"{'single (bounded)':>22} | {t_single * 1e3:8.1f}ms | {requests_n / t_single:10.0f}")
-    print(f"{'single (unbounded)':>22} | {t_unbounded * 1e3:8.1f}ms | {requests_n / t_unbounded:10.0f}")
-    print(f"{f'cluster ({shards} shards)':>22} | {t_cluster * 1e3:8.1f}ms | {requests_n / t_cluster:10.0f}")
+    print(f"{'deployment':>26} | {'latency':>10} | {'requests/s':>10} | {'p99':>8}")
+    print(f"{'single (bounded)':>26} | {t_single * 1e3:8.1f}ms | {requests_n / t_single:10.0f} | {'-':>8}")
+    print(f"{'single (unbounded)':>26} | {t_unbounded * 1e3:8.1f}ms | {requests_n / t_unbounded:10.0f} | {'-':>8}")
+    print(f"{f'cluster ({shards} threaded)':>26} | {t_cluster * 1e3:8.1f}ms | {requests_n / t_cluster:10.0f} | {p99_cluster:6.2f}ms")
+    print(f"{f'cluster ({shards} process)':>26} | {t_process * 1e3:8.1f}ms | {requests_n / t_process:10.0f} | {p99_process:6.2f}ms")
     print(f"cluster speedup over bounded single service: {speedup:.2f}x")
+    print(f"process-shard speedup over threaded shards:  {process_speedup:.2f}x "
+          f"(target {process_target:.1f}x on >=4 cores; {cores} core(s) here)")
 
     if args.json:
+        process_record = {
+            "name": "process_speedup_over_threaded", "unit": "x",
+            "value": process_speedup, "shards": shards, "workers": "process",
+            "target": process_target, "cores": cores,
+            "enforced": process_skip is None,
+        }
+        if process_skip is not None:
+            process_record["skip_reason"] = process_skip
         write_records(
             args.json,
             "cluster_throughput",
@@ -190,28 +242,48 @@ def main(argv=None) -> int:
                 "smoke": args.smoke,
             },
             # Each record names its own deployment: the single-process
-            # replays are shard count 1 regardless of the config's shards.
+            # replays are shard count 1 regardless of the config's shards,
+            # and the worker kind distinguishes the two cluster rows.
             [
                 {"name": "single_bounded_dispatch", "unit": "s", "value": t_single,
                  "requests_per_s": requests_n / t_single, "shards": 1},
                 {"name": "single_unbounded_dispatch", "unit": "s", "value": t_unbounded,
                  "requests_per_s": requests_n / t_unbounded, "shards": 1},
                 {"name": "cluster_dispatch", "unit": "s", "value": t_cluster,
-                 "requests_per_s": requests_n / t_cluster, "shards": shards},
+                 "requests_per_s": requests_n / t_cluster, "shards": shards,
+                 "p99_ms": p99_cluster},
+                {"name": "cluster_dispatch_process", "unit": "s", "value": t_process,
+                 "requests_per_s": requests_n / t_process, "shards": shards,
+                 "workers": "process", "p99_ms": p99_process},
                 {"name": "cluster_speedup", "unit": "x", "value": speedup,
                  "shards": shards},
+                process_record,
             ],
         )
 
+    failed = False
     if speedup < target:
         message = (
             f"cluster below target over bounded single service "
             f"({speedup:.2f}x < {target:.1f}x)"
         )
         print(("FAIL: " if args.check else "below target (not enforced): ") + message)
-        return 1 if args.check else 0
-    print(f"ok: cluster >= {target:.1f}x bounded single-service throughput")
-    return 0
+        failed = failed or args.check
+    else:
+        print(f"ok: cluster >= {target:.1f}x bounded single-service throughput")
+
+    if process_skip is not None:
+        print(f"process head-to-head target skipped: {process_skip}")
+    elif process_speedup < process_target:
+        message = (
+            f"process shards below target over threaded shards "
+            f"({process_speedup:.2f}x < {process_target:.1f}x)"
+        )
+        print(("FAIL: " if args.check else "below target (not enforced): ") + message)
+        failed = failed or args.check
+    else:
+        print(f"ok: process shards >= {process_target:.1f}x threaded-shard throughput")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -20,12 +20,14 @@ def best_of(fn, *args, repeat=3):
 
 
 def _record_metadata(config):
-    """Deployment metadata stamped into every record: backend + shard count.
+    """Deployment metadata stamped into every record: backend, shards, workers.
 
-    The active compute backend and the shard count are the two knobs that
-    change what a number means across PRs, so each record carries them even
-    when the producing script didn't think to include them.  Single-process
-    benchmarks are shard count 1.
+    The active compute backend, the shard count and the worker execution
+    model (threaded shards vs process shards on shared-memory weights) are
+    the knobs that change what a number means across PRs, so each record
+    carries them even when the producing script didn't think to include
+    them.  Single-process benchmarks are shard count 1 with threaded
+    (in-process) execution.
     """
     try:
         from repro.backend import active_backend
@@ -33,11 +35,12 @@ def _record_metadata(config):
         backend = active_backend().name
     except Exception:  # pragma: no cover - repro not importable
         backend = None
-    shards = 1
+    shards, workers = 1, "threaded"
     if isinstance(config, dict):
         backend = config.get("backend", backend)
         shards = config.get("shards", 1)
-    return {"backend": backend, "shards": shards}
+        workers = config.get("workers", workers)
+    return {"backend": backend, "shards": shards, "workers": workers}
 
 
 def write_records(path, benchmark, config, records):

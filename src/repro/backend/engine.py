@@ -57,6 +57,7 @@ class Engine:
         m: int = 4,
         block_size: int = 16,
         attach: bool = True,
+        formats: Optional[Dict[str, object]] = None,
     ) -> None:
         if weight_format not in WEIGHT_FORMATS:
             raise ValueError(
@@ -70,12 +71,21 @@ class Engine:
         self.block_size = block_size
         self._formats: "OrderedDict[str, object]" = OrderedDict()
         self._original_forward: Dict[str, object] = {}
-        self.refresh_formats()
+        if formats is None:
+            self.refresh_formats()
+        else:
+            self.install_formats(formats)
         if attach:
             self.attach()
 
     @classmethod
-    def from_spec(cls, module: Module, spec, attach: bool = True) -> "Engine":
+    def from_spec(
+        cls,
+        module: Module,
+        spec,
+        attach: bool = True,
+        formats: Optional[Dict[str, object]] = None,
+    ) -> "Engine":
         """Build an engine from an :class:`~repro.serve.types.EngineSpec`.
 
         Accepts any object with ``backend`` / ``weight_format`` / ``n`` /
@@ -91,6 +101,7 @@ class Engine:
             m=spec.m,
             block_size=spec.block_size,
             attach=attach,
+            formats=formats,
         )
 
     @property
@@ -131,6 +142,24 @@ class Engine:
             else:  # Linear
                 weight2d = w_eff.T
             self._formats[name] = self._encode(weight2d)
+
+    def install_formats(self, formats: Dict[str, object]) -> None:
+        """Install precomputed encodings instead of re-encoding the module.
+
+        The seam for shared-memory serving: a worker process maps another
+        process's encoded arrays and hands them in here, skipping the
+        expensive per-layer encode entirely.  ``formats`` must cover exactly
+        this module's prunable layers; entries are kept in layer order.
+        """
+        expected = list(prunable_layers(self.module))
+        if sorted(formats) != sorted(expected):
+            raise ValueError(
+                f"formats must cover exactly the prunable layers {sorted(expected)}; "
+                f"got {sorted(formats)}"
+            )
+        self._formats.clear()
+        for name in expected:
+            self._formats[name] = formats[name]
 
     @property
     def is_lossless(self) -> bool:

@@ -11,6 +11,10 @@ production model serving:
 * :mod:`repro.cluster.shard` — :class:`ShardWorker`: one thread owning a
   private engine cache + micro-batching scheduler, draining a bounded queue
   on a deadline-or-max-batch trigger.
+* :mod:`repro.cluster.procworker` — :class:`ProcessShardWorker`: the same
+  contract in a ``multiprocessing`` child, serving zero-copy from
+  :mod:`repro.shm` shared-memory weight segments — shards that truly run on
+  separate cores (``ClusterConfig(workers="process")``).
 * :mod:`repro.cluster.frontend` — :class:`ClusterService`: the facade with
   the ``personalize`` / ``predict`` / ``predict_batch`` API, futures for
   async completion, 503-style admission control and graceful drain/shutdown.
@@ -29,6 +33,7 @@ Quickstart::
 """
 
 from .frontend import WORKER_KINDS, ClusterConfig, ClusterService, RejectedResponse
+from .procworker import ProcessShardWorker
 from .router import ConsistentHashRouter
 from .shard import ShardKilledError, ShardOverloadError, ShardWorker
 from .telemetry import LatencyHistogram, ShardTelemetry, merge_snapshots
@@ -40,6 +45,7 @@ __all__ = [
     "WORKER_KINDS",
     "ConsistentHashRouter",
     "ShardWorker",
+    "ProcessShardWorker",
     "ShardOverloadError",
     "ShardKilledError",
     "LatencyHistogram",

@@ -33,20 +33,25 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..errors import NotFoundError, UnavailableError
+from ..errors import InvalidArgumentError, NotFoundError, UnavailableError
 from ..serve.registry import ModelRegistry
 from ..serve.service import PersonalizationService, ServiceConfig
 from ..serve.types import PredictRequest, PredictResponse
+from ..shm import SharedWeightStore
+from .procworker import ProcessShardWorker
 from .router import ConsistentHashRouter
 from .shard import ShardOverloadError, ShardWorker
 from .telemetry import LatencyHistogram, assert_stats_schema, merge_snapshots
 
 __all__ = ["ClusterConfig", "ClusterService", "RejectedResponse", "WORKER_KINDS"]
 
-#: Worker execution models the cluster knows how to run.  ``threaded`` is the
-#: in-process implementation; the name is a seam for a future process-based
-#: worker pool (same queue/telemetry contract, different isolation).
-WORKER_KINDS = ("threaded",)
+#: Worker execution models the cluster knows how to run.  ``threaded`` shards
+#: are in-process :class:`~repro.cluster.shard.ShardWorker` threads;
+#: ``process`` shards are
+#: :class:`~repro.cluster.procworker.ProcessShardWorker` children serving
+#: from zero-copy shared-memory weights — same queue/telemetry contract,
+#: real multi-core isolation.
+WORKER_KINDS = ("threaded", "process")
 
 
 @dataclass
@@ -99,7 +104,9 @@ class ClusterConfig:
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.workers not in WORKER_KINDS:
-            raise ValueError(
+            # A typed INVALID_ARGUMENT (still a ValueError) so the gateway
+            # surfaces a stable error code instead of a bare 500.
+            raise InvalidArgumentError(
                 f"Unknown worker kind {self.workers!r}; available: {WORKER_KINDS}"
             )
         if self.max_pending < 1:
@@ -142,7 +149,12 @@ class ClusterService:
             self.service = PersonalizationService(config=config, registry=registry)
         self.registry = self.service.registry
         self.config = self.service.config
-        self._workers: Dict[int, ShardWorker] = {}
+        # Process-mode deployments publish weights once, into shared memory;
+        # every worker child maps the same segments zero-copy.
+        self._store: Optional[SharedWeightStore] = (
+            SharedWeightStore(self.registry) if self.cluster.workers == "process" else None
+        )
+        self._workers: Dict[int, Union[ShardWorker, ProcessShardWorker]] = {}
         self._next_shard_id = 0
         self.router = ConsistentHashRouter(replicas=self.cluster.replicas)
         # Balanced tenant placement, recomputed lazily whenever the
@@ -170,15 +182,26 @@ class ClusterService:
     def _add_worker(self) -> int:
         shard_id = self._next_shard_id
         self._next_shard_id += 1
-        worker = ShardWorker(
-            shard_id,
-            self.registry,
-            cache_capacity=self.cluster.cache_capacity,
-            max_batch_size=self.cluster.max_batch_size,
-            max_pending=self.cluster.max_pending,
-            flush_interval_s=self.cluster.flush_interval_s,
-            poll_interval_s=self.cluster.poll_interval_s,
-        )
+        if self._store is not None:
+            worker = ProcessShardWorker(
+                shard_id,
+                self._store,
+                cache_capacity=self.cluster.cache_capacity,
+                max_batch_size=self.cluster.max_batch_size,
+                max_pending=self.cluster.max_pending,
+                flush_interval_s=self.cluster.flush_interval_s,
+                poll_interval_s=self.cluster.poll_interval_s,
+            )
+        else:
+            worker = ShardWorker(
+                shard_id,
+                self.registry,
+                cache_capacity=self.cluster.cache_capacity,
+                max_batch_size=self.cluster.max_batch_size,
+                max_pending=self.cluster.max_pending,
+                flush_interval_s=self.cluster.flush_interval_s,
+                poll_interval_s=self.cluster.poll_interval_s,
+            )
         self._workers[shard_id] = worker
         self.router.add_shard(shard_id)
         if self._started:
@@ -237,7 +260,7 @@ class ClusterService:
         """
         return sorted(self._workers)
 
-    def worker(self, shard_id: int) -> ShardWorker:
+    def worker(self, shard_id: int) -> Union[ShardWorker, ProcessShardWorker]:
         """The live worker for ``shard_id`` (raises ``KeyError`` if unknown)."""
         return self._workers[shard_id]
 
@@ -261,16 +284,25 @@ class ClusterService:
         shard_id = self._placement.get(model_id)
         return self.router.route(model_id) if shard_id is None else shard_id
 
-    def worker_for(self, model_id: str) -> ShardWorker:
+    def worker_for(self, model_id: str) -> Union[ShardWorker, ProcessShardWorker]:
         """The shard worker owning ``model_id`` under the current placement."""
         return self._workers[self._shard_for(model_id)]
 
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> "ClusterService":
-        """Start every shard's drain thread (idempotent)."""
+        """Start every shard's drain thread / worker process (idempotent).
+
+        Process mode publishes every registered model's weights into shared
+        memory up front: the encode happens once, outside the serving path,
+        instead of stalling the first request window per tenant (models
+        registered later still publish lazily on first use).
+        """
         self._ensure_open()
         if not self._started:
             self._started = True
+            if self._store is not None:
+                for model_id in self.registry.ids():
+                    self._store.ensure(model_id)
             for worker in self._workers.values():
                 worker.start()
         return self
@@ -281,12 +313,19 @@ class ClusterService:
             worker.drain()
 
     def shutdown(self, drain: bool = True) -> None:
-        """Stop accepting work and stop every shard (graceful by default)."""
+        """Stop accepting work and stop every shard (graceful by default).
+
+        Process-mode deployments then unlink every shared-memory segment the
+        weight store published — after shutdown, ``/dev/shm`` holds nothing
+        of this cluster's.
+        """
         if self._closed:
             return
         self._closed = True
         for worker in self._workers.values():
             worker.stop(drain=drain and self._started)
+        if self._store is not None:
+            self._store.close()
 
     def __enter__(self) -> "ClusterService":
         return self.start()
@@ -309,6 +348,10 @@ class ClusterService:
         """
         self._ensure_open()
         model_id = self.service.personalize(request, **overrides)
+        if self._store is not None:
+            # Republish eagerly so the fresh weights are already encoded in
+            # shared memory when the next request window opens.
+            self._store.ensure(model_id)
         for worker in self._workers.values():
             worker.evict(model_id)
         return model_id
@@ -374,9 +417,22 @@ class ClusterService:
 
         All requests are submitted before any wait, so co-tenant requests
         land in their shard's queue together and fuse into one dispatch.
+        Process-mode shards additionally get the burst bracketed in window
+        begin/end frames, which makes that whole-window fusion structural
+        (independent of host scheduling) — the property behind bit-exact
+        parity with the threaded and single-process deployments.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
-        futures = [self.submit(request) for request in requests]
+        windowed = self._store is not None and self._started
+        if windowed:
+            for worker in self._workers.values():
+                worker.begin_window()
+        try:
+            futures = [self.submit(request) for request in requests]
+        finally:
+            if windowed:
+                for worker in self._workers.values():
+                    worker.end_window()
         results = []
         for future in futures:
             remaining = None if deadline is None else max(0.0, deadline - time.monotonic())

@@ -159,8 +159,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         "repro.cluster sharded runtime (default: 1)",
     )
     serve_group.add_argument(
-        "--workers", choices=("threaded",), default="threaded",
-        help="cluster worker execution model (default: threaded)",
+        "--workers", choices=("threaded", "process"), default="threaded",
+        help="cluster worker execution model: GIL-sharing shard threads, or "
+        "shard processes serving zero-copy from shared-memory weights "
+        "(default: threaded)",
     )
     serve_group.add_argument(
         "--stats-json", metavar="PATH",
@@ -262,6 +264,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             loadgen_config = LoadgenConfig(
                 scenario=args.scenario,
                 shards=args.shards,
+                workers=args.workers,
                 tenants=args.loadgen_tenants,
                 requests=args.loadgen_requests,
                 seed=args.seed,

@@ -64,6 +64,7 @@ class LoadgenConfig:
 
     scenario: str = "steady-uniform"
     shards: int = 1
+    workers: str = "threaded"  #: cluster worker kind (see repro.cluster.WORKER_KINDS)
     tenants: int = 8
     requests: Optional[int] = None  #: None -> the preset's default
     seed: int = 0
@@ -81,6 +82,12 @@ class LoadgenConfig:
         if self.transport not in TRANSPORTS:
             raise ValueError(
                 f"unknown transport {self.transport!r}; available: {TRANSPORTS}"
+            )
+        from ..cluster import WORKER_KINDS
+
+        if self.workers not in WORKER_KINDS:
+            raise ValueError(
+                f"unknown worker kind {self.workers!r}; available: {WORKER_KINDS}"
             )
         for name in ("shards", "tenants", "cache_capacity"):
             if getattr(self, name) < 1:
@@ -135,6 +142,7 @@ def run_loadgen(config: LoadgenConfig) -> Tuple[SLOReport, Dict[str, object]]:
     max_pending = max(256, len(workload))
     cluster_config = ClusterConfig(
         shards=config.shards,
+        workers=config.workers,
         cache_capacity=config.cache_capacity,
         max_pending=max_pending,
         # Scenarios built to trip admission control carry their own

@@ -1,0 +1,38 @@
+"""Zero-copy shared-memory weight distribution for multi-process serving.
+
+The compressed weight formats the engines serve from — CSR / blocked-ELLPACK
+index and value arrays, CRISP group tables, dense fallbacks — are read-only,
+densely-packed numpy buffers: exactly the payload
+:mod:`multiprocessing.shared_memory` maps into every worker process without
+copying or pickling.  This package is that seam:
+
+* :class:`SharedWeightStore` — parent-side publisher.  Serializes each
+  registered model's encoded formats *and* its module state dict into one
+  named shared-memory segment, described by a JSON-compatible manifest
+  entry small enough to ride a wire envelope.  Owns segment lifetime:
+  refcounted by attached workers and unlinked on :meth:`~SharedWeightStore.close`.
+* :class:`SharedModelSource` — worker-side consumer.  Installs manifest
+  entries, maps the named segments, and builds
+  :class:`~repro.backend.engine.Engine` instances whose format arrays are
+  read-only ``np.ndarray`` views over the shared buffers (zero-copy; only
+  the small dense module state is copied into the rebuilt module).  It
+  satisfies the :class:`~repro.serve.cache.EngineCache` engine-source
+  protocol, so a process shard's cache/scheduler stack runs unchanged.
+
+The weight payload never crosses a pipe: parent and children exchange only
+segment names and array layouts.
+"""
+
+from .store import (
+    SegmentLayout,
+    SharedModelSource,
+    SharedWeightStore,
+    attach_segment,
+)
+
+__all__ = [
+    "SharedWeightStore",
+    "SharedModelSource",
+    "SegmentLayout",
+    "attach_segment",
+]
