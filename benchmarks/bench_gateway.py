@@ -200,6 +200,33 @@ def main(argv=None) -> int:
             {"name": "ratelimit_rejection_rate", "unit": "ratio",
              "value": report.rejected / max(1, report.requests)}
         )
+
+        # Tracing overhead: the same loopback replay with hop spans on vs
+        # off.  The off number is the one the <5% p99 criterion tracks —
+        # the disabled path must stay one boolean check per seam.
+        from repro import trace as rtrace
+
+        client = GatewayClient(LoopbackTransport(gateway))
+        off = replay(client, workload_for())
+        rtrace.reset_aggregator()
+        with rtrace.tracing():
+            on = replay(client, workload_for())
+        off_p99 = off.latency_summary()["p99_ms"]
+        on_p99 = on.latency_summary()["p99_ms"]
+        traced = on.requests_traced
+        if traced != on.completed:
+            print(f"FAIL: traced replay decomposed {traced}/{on.completed} requests")
+            return 1
+        print(
+            f"trace overhead: p99 off {off_p99:.2f}ms / on {on_p99:.2f}ms "
+            f"({traced}/{on.requests} requests hop-decomposed when on)"
+        )
+        records.extend(
+            [
+                {"name": "loopback_p99_trace_off", "unit": "ms", "value": off_p99},
+                {"name": "loopback_p99_trace_on", "unit": "ms", "value": on_p99},
+            ]
+        )
     finally:
         cluster.shutdown()
 

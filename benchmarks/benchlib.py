@@ -6,7 +6,38 @@ pytest's rootdir insertion does the same when the files are collected.
 """
 
 import json
+import os
+import platform
+import subprocess
+import sys
 import time
+
+
+def host_context():
+    """Host provenance stamped into every benchmark payload.
+
+    A latency number is only comparable to another taken on a comparable
+    host, so each BENCH_*.json records where it came from: CPU count,
+    platform, Python version, and the git commit (``GITHUB_SHA`` in CI,
+    ``git rev-parse`` locally, ``None`` outside a checkout).
+    """
+    sha = os.environ.get("GITHUB_SHA")
+    if not sha:
+        try:
+            sha = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True, text=True, timeout=10,
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+            ).stdout.strip() or None
+        except Exception:
+            sha = None
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "git_sha": sha,
+    }
 
 
 def best_of(fn, *args, repeat=3):
@@ -56,7 +87,12 @@ def write_records(path, benchmark, config, records):
     for record in records:
         for key, value in metadata.items():
             record.setdefault(key, value)
-    payload = {"benchmark": benchmark, "config": config, "records": records}
+    payload = {
+        "benchmark": benchmark,
+        "config": config,
+        "host": host_context(),
+        "records": records,
+    }
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2)
     print(f"wrote {path}")

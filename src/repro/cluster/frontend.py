@@ -42,6 +42,7 @@ from .procworker import ProcessShardWorker
 from .router import ConsistentHashRouter
 from .shard import ShardOverloadError, ShardWorker
 from .telemetry import LatencyHistogram, assert_stats_schema, merge_snapshots
+from ..trace import trace_block
 
 __all__ = ["ClusterConfig", "ClusterService", "RejectedResponse", "WORKER_KINDS"]
 
@@ -491,26 +492,30 @@ class ClusterService:
         }
         lookups = cache_totals["hits"] + cache_totals["misses"]
         cache_totals["hit_rate"] = cache_totals["hits"] / lookups if lookups else 0.0
-        return assert_stats_schema(
-            {
-                "models": len(self.registry),
-                "shards": self.shards,
-                "workers": self.cluster.workers,
-                "router": self.router.stats(),
-                "latency": totals["latency"],
-                "cache": cache_totals,
-                "queue": {
-                    "pending": sum(shard["pending"] for shard in per_shard),
-                    "max_depth": totals["queue_depth"]["max"],
-                },
-                "errors": {
-                    "failed": totals["failed"],
-                    "rejected": totals["rejected"],
-                },
-                "totals": totals,
-                "per_shard": per_shard,
-            }
-        )
+        payload = {
+            "models": len(self.registry),
+            "shards": self.shards,
+            "workers": self.cluster.workers,
+            "router": self.router.stats(),
+            "latency": totals["latency"],
+            "cache": cache_totals,
+            "queue": {
+                "pending": sum(shard["pending"] for shard in per_shard),
+                "max_depth": totals["queue_depth"]["max"],
+            },
+            "errors": {
+                "failed": totals["failed"],
+                "rejected": totals["rejected"],
+            },
+            "totals": totals,
+            "per_shard": per_shard,
+        }
+        # Optional per-hop trace block (parent-process aggregator): absent
+        # until tracing has been active, so pre-trace payloads are unchanged.
+        block = trace_block()
+        if block is not None:
+            payload["trace"] = block
+        return assert_stats_schema(payload)
 
     def save(self, root) -> None:
         """Persist every registered model (same layout as the inner service)."""

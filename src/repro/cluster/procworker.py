@@ -46,6 +46,7 @@ from typing import Dict, Optional
 from ..errors import error_from_exception
 from ..gateway.wire import ApiRequest, ApiResponse
 from ..serve.types import PredictRequest, PredictResponse
+from ..trace import Trace
 from ..shm import SharedWeightStore
 from .shard import ShardKilledError, ShardOverloadError
 from .telemetry import LatencyHistogram, ShardTelemetry
@@ -164,23 +165,35 @@ def _worker_main(conn, shard_id, cfg: Dict) -> None:
         accepted = []
         for frame in batch:
             request = PredictRequest.from_dict(frame.payload["request"])
+            if frame.payload.get("trace"):
+                # The parent flagged this frame as traced: give the request a
+                # child-local Trace so the scheduler records the engine span;
+                # the spans ride back inside the reply payload.
+                request.trace = Trace()
             try:
                 scheduler.submit(request)
             except Exception as exc:  # e.g. duplicate request id
                 reply_error(frame, exc)
                 telemetry.record_failure()
             else:
-                accepted.append(frame)
+                accepted.append((frame, request))
         try:
             responses = scheduler.flush()
         except Exception as exc:  # e.g. missing manifest for a batched id
-            for frame in accepted:
+            for frame, _ in accepted:
                 reply_error(frame, exc)
             telemetry.record_failure(len(accepted))
             return
         now = time.monotonic()
-        for frame, response in zip(accepted, responses):
-            reply(frame, response.to_dict())
+        for (frame, request), response in zip(accepted, responses):
+            payload = response.to_dict()
+            if request.trace is not None:
+                # CLOCK_MONOTONIC is system-wide, so the parent's enqueue
+                # stamp is comparable here: the shard span covers pipe
+                # transit + child queueing + batch collection + dispatch.
+                request.trace.add("shard", now - frame.payload["enqueued_monotonic"])
+                payload["trace"] = request.trace.to_wire()
+            reply(frame, payload)
             telemetry.record_completion(now - frame.payload["enqueued_monotonic"])
         telemetry.record_dispatch(len(batch), depth_after)
 
@@ -455,12 +468,14 @@ class ProcessShardWorker:
         return self._process is not None and self._process.is_alive()
 
     # -- wire plumbing ---------------------------------------------------------
-    def _send(self, method: str, payload: Dict, kind: str) -> Future:
+    def _send(self, method: str, payload: Dict, kind: str, trace: Optional[Trace] = None) -> Future:
         """Register a frame in the inflight table and put it on the pipe.
 
         Raises the shard's down-error if the worker is not accepting frames.
         Callers that need the answer wait on the returned future; fire-and-
-        forget callers just drop it (the pump still resolves it).
+        forget callers just drop it (the pump still resolves it).  ``trace``
+        is the caller's span collector; the pump merges the child's spans
+        into it before resolving the future.
         """
         future: Future = Future()
         with self._lock:
@@ -472,6 +487,7 @@ class ProcessShardWorker:
                 "kind": kind,
                 "future": future,
                 "enqueued_at": time.monotonic(),
+                "trace": trace,
             }
             if kind == "predict":
                 self._pending_predicts += 1
@@ -518,7 +534,17 @@ class ProcessShardWorker:
             if not response.ok:
                 future.set_exception(response.to_error())
             elif item["kind"] == "predict":
-                future.set_result(PredictResponse.from_dict(response.payload))
+                payload = response.payload
+                spans = payload.pop("trace", None) if isinstance(payload, dict) else None
+                if spans and item.get("trace") is not None:
+                    # Merge child spans BEFORE resolving: set_result wakes
+                    # the waiting caller first, and it reads the trace
+                    # immediately after future.result() returns.
+                    item["trace"].extend_wire(spans)
+                result = PredictResponse.from_dict(payload)
+                if item.get("trace") is not None:
+                    result.trace = item["trace"]
+                future.set_result(result)
             else:
                 future.set_result(response.payload)
         self._fail_inflight()
@@ -560,11 +586,10 @@ class ProcessShardWorker:
                 raise ShardOverloadError(
                     f"shard {self.shard_id!r} queue full ({self.max_pending} pending)"
                 )
-        return self._send(
-            "predict",
-            {"request": request.to_dict(), "enqueued_monotonic": time.monotonic()},
-            kind="predict",
-        )
+        payload = {"request": request.to_dict(), "enqueued_monotonic": time.monotonic()}
+        if request.trace is not None:
+            payload["trace"] = True
+        return self._send("predict", payload, kind="predict", trace=request.trace)
 
     def _ensure_installed(self, model_id: str) -> None:
         """Publish + install the model's current weights if the child lacks them."""

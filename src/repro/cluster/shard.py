@@ -222,6 +222,12 @@ class ShardWorker(threading.Thread):
                     return
             now = time.monotonic()
             for item, response in zip(accepted, responses):
+                if item.request.trace is not None:
+                    # Queue wait + batch + dispatch, recorded BEFORE the
+                    # future resolves: set_result wakes the waiting caller
+                    # first and runs callbacks second, so a span added any
+                    # later could miss the serialization window.
+                    item.request.trace.add("shard", now - item.enqueued_at)
                 item.future.set_result(response)
                 self.telemetry.record_completion(now - item.enqueued_at)
             self.telemetry.record_dispatch(len(items), depth_after)

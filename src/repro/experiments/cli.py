@@ -46,6 +46,7 @@ from .fig8_hardware import aggregate_fig8, run_fig8
 from .headline import run_headline
 from .loadgen_cli import SMOKE_REQUESTS as LOADGEN_SMOKE_REQUESTS
 from .loadgen_cli import LoadgenConfig, print_loadgen
+from .pipeline_cli import PipelineCliConfig, list_pipeline_steps, print_pipeline
 from .serve_demo import ServeDemoConfig, print_serve_demo
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
@@ -87,10 +88,10 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "headline": _print_headline,
 }
 
-#: Every runnable command: the figure experiments plus the serving demo and
-#: the scenario load generator (both need CLI flags, so they are dispatched
-#: outside the EXPERIMENTS map).
-ALL_COMMANDS = sorted([*EXPERIMENTS, "serve", "loadgen"])
+#: Every runnable command: the figure experiments plus the serving demo, the
+#: scenario load generator, and the experiment pipeline runner (all need CLI
+#: flags, so they are dispatched outside the EXPERIMENTS map).
+ALL_COMMANDS = sorted([*EXPERIMENTS, "serve", "loadgen", "pipeline"])
 
 
 def _write_stats_json(path: str, report: Dict) -> None:
@@ -219,7 +220,33 @@ def main(argv: Sequence[str] | None = None) -> int:
     loadgen_group.add_argument(
         "--smoke", action="store_true",
         help=f"shrink the scenario to {LOADGEN_SMOKE_REQUESTS} requests "
-        "(fast CI sanity run)",
+        "(fast CI sanity run; 'pipeline' also honours it)",
+    )
+    loadgen_group.add_argument(
+        "--trace", action="store_true",
+        help="record per-request hop spans (gateway/middleware/frontend/"
+        "shard/engine) into the SLO report; forces a gateway transport",
+    )
+    pipeline_group = parser.add_argument_group("pipeline options")
+    pipeline_group.add_argument(
+        "--pipeline", default="standard", metavar="NAME",
+        help="named pipeline to run (see --list-steps; default: standard)",
+    )
+    pipeline_group.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="content-addressed store directory (default: .repro-pipeline)",
+    )
+    pipeline_group.add_argument(
+        "--status", action="store_true",
+        help="report per-step cache residency without executing anything",
+    )
+    pipeline_group.add_argument(
+        "--list-steps", action="store_true",
+        help="list the pipeline's steps (execution order, deps, params) and exit",
+    )
+    pipeline_group.add_argument(
+        "--force", action="append", default=[], metavar="STEP",
+        help="re-run STEP even when cached (repeatable)",
     )
     args = parser.parse_args(argv)
 
@@ -228,6 +255,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list:
         for name in ALL_COMMANDS:
             print(name)
+        return 0
+    if args.list_steps:
+        try:
+            list_pipeline_steps(
+                PipelineCliConfig(pipeline=args.pipeline, smoke=args.smoke)
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
         return 0
     if args.list_scenarios:
         from repro.loadgen import SCENARIOS
@@ -241,7 +276,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.print_help()
         return 1
     if requested == ["all"]:
-        requested = ALL_COMMANDS
+        # 'pipeline' is excluded: it persists an on-disk store, which should
+        # only happen when explicitly requested.
+        requested = [name for name in ALL_COMMANDS if name != "pipeline"]
 
     unknown = [name for name in requested if name not in ALL_COMMANDS]
     if unknown:
@@ -273,6 +310,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                 backend=args.backend or "fast",
                 transport=args.transport,
                 smoke=args.smoke,
+                trace=args.trace,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    if "pipeline" in requested:
+        try:
+            pipeline_config = PipelineCliConfig(
+                pipeline=args.pipeline,
+                store=args.store if args.store is not None else ".repro-pipeline",
+                smoke=args.smoke,
+                force=tuple(args.force),
+                status_only=args.status,
             )
         except ValueError as exc:
             parser.error(str(exc))
@@ -289,6 +339,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.json != "-":
                 print("\n===== loadgen =====")
             print_loadgen(loadgen_config, json_target=args.json, measure=args.measure)
+        elif name == "pipeline":
+            print("\n===== pipeline =====")
+            print_pipeline(pipeline_config)
         else:
             run_experiment(name)
     return 0

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import sys
+from contextlib import nullcontext as _nullcontext
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -73,6 +74,7 @@ class LoadgenConfig:
     backend: str = "fast"  #: compute backend the tenant engines pin
     transport: str = "local"  #: see TRANSPORTS
     smoke: bool = False
+    trace: bool = False  #: record per-request hop spans into the SLO report
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIOS:
@@ -113,6 +115,18 @@ class LoadgenConfig:
                 f"chaos scenario {self.scenario!r} needs an async cluster "
                 "target; use --transport local (or direct)"
             )
+        if self.trace:
+            if faults:
+                # The two modes need incompatible transports: hop tracing
+                # wants the gateway-fronted wire, chaos wants raw futures.
+                raise ValueError(
+                    f"--trace cannot run chaos scenario {self.scenario!r}; "
+                    "trace a fault-free scenario instead"
+                )
+            if self.transport in ("local", "direct"):
+                # Hop decomposition covers gateway → middleware → frontend →
+                # shard → engine, so a traced run must cross the gateway.
+                self.transport = "loopback"
 
 
 def run_loadgen(config: LoadgenConfig) -> Tuple[SLOReport, Dict[str, object]]:
@@ -151,20 +165,26 @@ def run_loadgen(config: LoadgenConfig) -> Tuple[SLOReport, Dict[str, object]]:
         high_water=min(scenario.high_water or max_pending, max_pending),
     )
     driver_config = DriverConfig(time_scale=config.time_scale)
-    with ClusterService(cluster_config, registry=registry) as cluster:
-        if config.transport == "direct":
-            report = LoadDriver(cluster, driver_config).run(workload)
-        elif config.transport == "local":
-            report = LoadDriver(ClusterBackend(cluster), driver_config).run(workload)
-        else:
-            gateway = Gateway(ClusterBackend(cluster))
-            if config.transport == "loopback":
-                client = GatewayClient(LoopbackTransport(gateway))
-                report = LoadDriver(client, driver_config).run(workload)
-            else:  # http: a real socket on an ephemeral port
-                with serve_http(gateway) as server:
-                    with GatewayClient(server.transport()) as client:
-                        report = LoadDriver(client, driver_config).run(workload)
+    from .. import trace as _trace
+
+    if config.trace:
+        # Fresh per-hop aggregator for this run's stats/SLO surfaces.
+        _trace.reset_aggregator()
+    with _trace.tracing(config.trace) if config.trace else _nullcontext():
+        with ClusterService(cluster_config, registry=registry) as cluster:
+            if config.transport == "direct":
+                report = LoadDriver(cluster, driver_config).run(workload)
+            elif config.transport == "local":
+                report = LoadDriver(ClusterBackend(cluster), driver_config).run(workload)
+            else:
+                gateway = Gateway(ClusterBackend(cluster))
+                if config.transport == "loopback":
+                    client = GatewayClient(LoopbackTransport(gateway))
+                    report = LoadDriver(client, driver_config).run(workload)
+                else:  # http: a real socket on an ephemeral port
+                    with serve_http(gateway) as server:
+                        with GatewayClient(server.transport()) as client:
+                            report = LoadDriver(client, driver_config).run(workload)
     return report, report.to_dict(timing=False)
 
 

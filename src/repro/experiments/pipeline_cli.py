@@ -1,0 +1,110 @@
+"""CLI ``pipeline``: run and inspect content-addressed experiment DAGs.
+
+The experiments CLI's window into :mod:`repro.pipeline`: pick a named
+pipeline (``--pipeline``, see :data:`repro.pipeline.PIPELINES`), point it at
+an on-disk store (``--store``), and either execute it (cached steps are
+verified byte-identical hits, everything else runs) or report per-step cache
+residency without executing anything (``--status``).
+
+Resumability is the point: interrupt a run, re-invoke the same command, and
+every step that already completed is a cache hit — only the remainder (and
+anything whose params/code/inputs changed) executes.  ``--smoke`` selects
+each pipeline's shrunken variant for CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..pipeline import Pipeline, PipelineStore, RunSummary, build_pipeline, pipeline_names
+
+__all__ = ["PipelineCliConfig", "build_cli_pipeline", "print_pipeline"]
+
+#: Default on-disk store root (relative to the working directory).
+DEFAULT_STORE = ".repro-pipeline"
+
+
+@dataclass
+class PipelineCliConfig:
+    """Knobs of one CLI pipeline invocation."""
+
+    pipeline: str = "standard"
+    store: str = DEFAULT_STORE
+    smoke: bool = False
+    force: Tuple[str, ...] = ()
+    status_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pipeline not in pipeline_names():
+            raise ValueError(
+                f"unknown pipeline {self.pipeline!r}; available: {pipeline_names()}"
+            )
+
+
+def build_cli_pipeline(config: PipelineCliConfig) -> Pipeline:
+    return build_pipeline(
+        config.pipeline, PipelineStore(config.store), smoke=config.smoke
+    )
+
+
+def list_pipeline_steps(config: PipelineCliConfig) -> None:
+    """``--list-steps``: the DAG in execution order, with deps and params."""
+    import tempfile
+
+    # Listing never touches the store; a throwaway root avoids creating the
+    # real store directory as a side effect of an inspection command.
+    with tempfile.TemporaryDirectory() as tmp:
+        pipeline = build_pipeline(config.pipeline, PipelineStore(tmp), smoke=config.smoke)
+    print(f"pipeline {config.pipeline} ({len(pipeline.order)} steps):")
+    for name in pipeline.order:
+        step = pipeline.steps[name]
+        deps = ", ".join(step.deps) if step.deps else "-"
+        params = json.dumps(step.params, sort_keys=True)
+        print(f"  {name:<28} deps: {deps:<40} params: {params}")
+
+
+def print_pipeline_status(config: PipelineCliConfig) -> None:
+    """``--status``: per-step cache residency, no execution."""
+    pipeline = build_cli_pipeline(config)
+    rows = pipeline.status()
+    cached = sum(1 for row in rows if row["cached"])
+    print(f"pipeline {config.pipeline} @ {config.store}: {cached}/{len(rows)} cached")
+    for row in rows:
+        state = "cached" if row["cached"] else "stale"
+        print(f"  {state:>6}  {row['name']:<28} key={row['key'][:16]}")
+
+
+def run_pipeline(config: PipelineCliConfig) -> RunSummary:
+    """``pipeline`` (run): execute the DAG, streaming per-step progress."""
+    from ..serve import set_universal_model_store
+
+    pipeline = build_cli_pipeline(config)
+
+    def progress(result) -> None:
+        print(
+            f"  {result.status:>4}  {result.name:<28} "
+            f"{result.elapsed_s * 1e3:8.1f}ms",
+            flush=True,
+        )
+
+    print(f"pipeline {config.pipeline} @ {config.store}:")
+    # Steps that pre-train universal backbones share the pipeline store as
+    # their disk tier, so a backbone is trained once per content key across
+    # runs (and across pipelines pointed at the same store).
+    set_universal_model_store(pipeline.store)
+    try:
+        summary = pipeline.run(force=config.force, progress=progress)
+    finally:
+        set_universal_model_store(None)
+    print(f"  {summary.hits} hit(s), {summary.ran} ran")
+    return summary
+
+
+def print_pipeline(config: PipelineCliConfig) -> Optional[RunSummary]:
+    """Dispatch one CLI pipeline invocation (status or run)."""
+    if config.status_only:
+        print_pipeline_status(config)
+        return None
+    return run_pipeline(config)

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..errors import ApiError, UnavailableError, error_from_exception
 from ..serve.service import PersonalizationService
 from ..serve.types import PersonalizeRequest, PredictRequest, PredictResponse
+from ..trace import HOP_FRONTEND
 from .wire import API_VERSION
 
 __all__ = ["ServingAPI", "LocalBackend", "ClusterBackend", "as_serving_api"]
@@ -186,7 +187,16 @@ class ClusterBackend(ServingAPI):
         self, request: PredictRequest, timeout: Optional[float] = None
     ) -> PredictResponse:
         with _translated():
-            result = self.cluster.submit(request).result(timeout)
+            if request.trace is None:
+                result = self.cluster.submit(request).result(timeout)
+            else:
+                # The frontend hop must be recorded *here*, synchronously
+                # around the wait: shard-side spans land before set_result
+                # wakes us, and a done-callback could run after the caller
+                # has already serialized the trace.
+                start = time.perf_counter()
+                result = self.cluster.submit(request).result(timeout)
+                request.trace.add(HOP_FRONTEND, time.perf_counter() - start)
         if not result.ok:  # admission-control RejectedResponse
             raise self._rejection_error(result)
         return result
@@ -198,10 +208,11 @@ class ClusterBackend(ServingAPI):
         # gather per item so one bad request — unknown id, dead shard —
         # costs exactly its own slot, not the batch.
         deadline = None if timeout is None else time.monotonic() + timeout
+        start = time.perf_counter()
         with _translated():
             futures = [self.cluster.submit(request) for request in requests]
         results: List[BatchResult] = []
-        for future in futures:
+        for request, future in zip(requests, futures):
             remaining = (
                 None if deadline is None else max(0.0, deadline - time.monotonic())
             )
@@ -210,6 +221,10 @@ class ClusterBackend(ServingAPI):
             except Exception as exc:
                 results.append(error_from_exception(exc))
                 continue
+            if request.trace is not None:
+                # Batch-start to this item's completion: submit staging plus
+                # the wait, the whole cluster-frontend residence time.
+                request.trace.add(HOP_FRONTEND, time.perf_counter() - start)
             results.append(result if result.ok else self._rejection_error(result))
         return results
 

@@ -19,6 +19,8 @@ import numpy as np
 
 from ..errors import ApiError, error_from_dict
 from ..serve.types import PersonalizeRequest, PredictRequest, PredictResponse
+from .. import trace as _trace
+from ..trace import Trace
 from .transport import Transport
 from .wire import ApiRequest, ApiResponse
 
@@ -50,6 +52,7 @@ class GatewayClient:
         payload: Optional[Dict] = None,
         request_id: Optional[str] = None,
         deadline_ms: Optional[float] = None,
+        trace: bool = False,
     ) -> ApiResponse:
         """Send one raw API call; returns the response envelope (no raise)."""
         request = ApiRequest(
@@ -58,6 +61,7 @@ class GatewayClient:
             request_id=request_id,
             tenant=self.tenant,
             deadline_ms=self.deadline_ms if deadline_ms is None else deadline_ms,
+            trace=bool(trace),
         )
         return self.transport.send(request)
 
@@ -90,9 +94,14 @@ class GatewayClient:
         request = PredictRequest(model_id, batch, request_id)
         response = self.call(
             "predict", request.to_dict(), request_id=request.request_id,
-            deadline_ms=deadline_ms,
+            deadline_ms=deadline_ms, trace=_trace.enabled(),
         ).raise_for_error()
-        return PredictResponse.from_dict(response.payload["response"])
+        result = PredictResponse.from_dict(response.payload["response"])
+        if response.trace:
+            # Rebuild the server-side spans client-side: hop durations are
+            # portable across the wire even though clock origins are not.
+            result.trace = Trace.from_wire(response.trace)
+        return result
 
     def predict_batch(
         self,
@@ -111,14 +120,22 @@ class GatewayClient:
                 r.to_dict() if isinstance(r, PredictRequest) else r for r in requests
             ]
         }
-        response = self.call("predict_batch", payload, deadline_ms=deadline_ms)
+        response = self.call(
+            "predict_batch", payload, deadline_ms=deadline_ms, trace=_trace.enabled()
+        )
         if response.payload is None:
             response.raise_for_error()
         items = response.payload["results"]
+        # A batch envelope carries one shared span list (the items were
+        # traced into one collector server-side); every decoded response
+        # gets the same rebuilt trace.
+        shared = Trace.from_wire(response.trace) if response.trace else None
         decoded: List[Union[PredictResponse, ApiError]] = []
         for item in items:
             if "response" in item:
                 decoded.append(PredictResponse.from_dict(item["response"]))
+                if shared is not None:
+                    decoded[-1].trace = shared
             else:
                 decoded.append(error_from_dict(item["error"]))
         return decoded

@@ -12,12 +12,15 @@ shares one code path and bit-identical behaviour.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..cluster.telemetry import assert_stats_schema
 from ..errors import ApiError, error_from_exception
 from ..serve.types import PersonalizeRequest, PredictRequest
+from ..trace import HOP_GATEWAY, HOP_MIDDLEWARE, Trace, trace_block
+from .. import trace as _trace
 from .api import ServingAPI, as_serving_api
 from .middleware import (
     DeadlineMiddleware,
@@ -107,13 +110,41 @@ class Gateway:
 
     # -- the front door --------------------------------------------------------
     def handle(self, request: ApiRequest) -> ApiResponse:
-        """Answer one envelope; never raises."""
+        """Answer one envelope; never raises.
+
+        Tracing rides per request: the process-wide switch
+        (:func:`repro.trace.enable`) or the envelope's own ``trace`` flag
+        turns it on; otherwise the only added cost is this one boolean
+        check, and response bytes are exactly the pre-trace ones.
+        """
+        if not (_trace.enabled() or request.trace):
+            try:
+                return self._pipeline(request)
+            except ApiError as err:
+                return ApiResponse.failure(request, err)
+            except Exception as exc:  # defence in depth
+                return ApiResponse.failure(request, error_from_exception(exc))
+        return self._handle_traced(request)
+
+    def _handle_traced(self, request: ApiRequest) -> ApiResponse:
+        """The traced twin of :meth:`handle`: same outcomes, plus spans.
+
+        The ``gateway`` hop is the whole envelope time; ``middleware`` is
+        recorded by :meth:`_route` as the time spent reaching the router,
+        and the deeper hops land as the request crosses the backend.
+        """
+        trace_ctx = Trace()
+        request._trace = trace_ctx
+        request._trace_started = time.perf_counter()
         try:
-            return self._pipeline(request)
+            response = self._pipeline(request)
         except ApiError as err:
-            return ApiResponse.failure(request, err)
-        except Exception as exc:  # defence in depth: transports never see raises
-            return ApiResponse.failure(request, error_from_exception(exc))
+            response = ApiResponse.failure(request, err)
+        except Exception as exc:  # defence in depth
+            response = ApiResponse.failure(request, error_from_exception(exc))
+        trace_ctx.add(HOP_GATEWAY, time.perf_counter() - request._trace_started)
+        response.trace = trace_ctx.to_wire()
+        return response
 
     def handle_json(self, raw) -> str:
         """The wire face: JSON request string/bytes in, JSON response out."""
@@ -136,6 +167,13 @@ class Gateway:
     def _route(self, request: ApiRequest) -> ApiResponse:
         # Validation middleware guarantees the method exists by the time the
         # pipeline bottoms out here.
+        trace_ctx = getattr(request, "_trace", None)
+        if trace_ctx is not None:
+            # Time from envelope entry to the router = the middleware chain.
+            # Under retries the hop records once per attempt; hop totals sum.
+            trace_ctx.add(
+                HOP_MIDDLEWARE, time.perf_counter() - request._trace_started
+            )
         return self._routes[request.method](request)
 
     def _deadline_s(self, request: ApiRequest) -> Optional[float]:
@@ -149,11 +187,16 @@ class Gateway:
 
     def _route_predict(self, request: ApiRequest) -> ApiResponse:
         predict = PredictRequest.from_dict(request.payload)
+        predict.trace = getattr(request, "_trace", None)
         response = self.backend.predict(predict, timeout=self._deadline_s(request))
         return ApiResponse.success(request, {"response": response.to_dict()})
 
     def _route_predict_batch(self, request: ApiRequest) -> ApiResponse:
         predicts = [PredictRequest.from_dict(p) for p in request.payload["requests"]]
+        trace_ctx = getattr(request, "_trace", None)
+        if trace_ctx is not None:
+            for predict in predicts:
+                predict.trace = trace_ctx
         results = self.backend.predict_batch(
             predicts, timeout=self._deadline_s(request)
         )
@@ -204,6 +247,9 @@ class Gateway:
         if self.retry is not None:
             gateway_block["retry"] = self.retry.snapshot()
         stats["gateway"] = gateway_block
+        block = trace_block()
+        if block is not None:
+            stats["trace"] = block
         return assert_stats_schema(stats)
 
     def drain(self) -> None:

@@ -57,6 +57,10 @@ class ApiRequest:
     tenant: str = "default"
     deadline_ms: Optional[float] = None
     version: str = API_VERSION
+    #: Ask the gateway to trace this request's hops.  ``False`` keeps the
+    #: envelope bytes exactly what pre-trace clients produced (the key is
+    #: omitted from ``to_dict`` entirely), so recorded streams stay stable.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.payload, dict):
@@ -71,7 +75,7 @@ class ApiRequest:
                 )
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "version": self.version,
             "method": self.method,
             "payload": self.payload,
@@ -79,6 +83,9 @@ class ApiRequest:
             "tenant": self.tenant,
             "deadline_ms": self.deadline_ms,
         }
+        if self.trace:
+            data["trace"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ApiRequest":
@@ -95,6 +102,7 @@ class ApiRequest:
             tenant=data.get("tenant", "default"),
             deadline_ms=data.get("deadline_ms"),
             version=data.get("version", API_VERSION),
+            trace=bool(data.get("trace", False)),
         )
 
     def to_json(self) -> str:
@@ -126,6 +134,10 @@ class ApiResponse:
     error: Optional[Dict] = None
     request_id: Optional[str] = None
     version: str = API_VERSION
+    #: Span list (``[[hop, seconds], ...]``) for traced requests; ``None``
+    #: (and absent from the wire dict) otherwise, keeping untraced envelope
+    #: bytes identical to pre-trace gateways.
+    trace: Optional[list] = None
 
     @classmethod
     def success(cls, request: ApiRequest, payload: Dict) -> "ApiResponse":
@@ -169,13 +181,16 @@ class ApiResponse:
         return self
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "version": self.version,
             "ok": self.ok,
             "payload": self.payload,
             "error": self.error,
             "request_id": self.request_id,
         }
+        if self.trace is not None:
+            data["trace"] = self.trace
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ApiResponse":
@@ -187,6 +202,7 @@ class ApiResponse:
             error=data.get("error"),
             request_id=data.get("request_id"),
             version=data.get("version", API_VERSION),
+            trace=data.get("trace"),
         )
 
     def to_json(self) -> str:

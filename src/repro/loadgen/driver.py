@@ -44,6 +44,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ApiError
+from .. import trace as _trace
+from ..trace import Trace, hops_of
 from .faults import FaultInjector
 from .report import (
     STATUS_FAILED,
@@ -194,6 +196,11 @@ class LoadDriver:
                 delay = target - time.perf_counter()
                 if delay > 0:
                     time.sleep(delay)
+            if _trace.enabled():
+                # Span collector for this request: the cluster seams record
+                # into it (shard/engine child-side spans are merged back
+                # before the future resolves).
+                item.request.trace = Trace()
             submitted = time.perf_counter()
             future = self.target.submit(item.request)
             marks: Dict[str, float] = {}
@@ -252,8 +259,11 @@ class LoadDriver:
             done = marks.get("done", time.perf_counter())
             last_done = max(last_done, done)
             latency = done - submitted
+            hops = hops_of(result)
             if getattr(result, "ok", False):
-                report.record(RequestOutcome(request_id, model_id, STATUS_OK, latency))
+                report.record(
+                    RequestOutcome(request_id, model_id, STATUS_OK, latency, hops=hops)
+                )
                 report.record_prediction(request_id, result.logits)
             else:
                 report.record(RequestOutcome(request_id, model_id, STATUS_REJECTED, latency))
@@ -292,6 +302,11 @@ class LoadDriver:
                 delay = target - time.perf_counter()
                 if delay > 0:
                     time.sleep(delay)
+            if _trace.enabled() and not self._wire_client:
+                # In-process facades record into an attached collector; a
+                # wire client instead flags the envelope and rebuilds the
+                # spans from the reply (see GatewayClient.predict).
+                item.request.trace = Trace()
             submitted = time.perf_counter()
             try:
                 response = self._predict_one(item.request)
@@ -309,7 +324,11 @@ class LoadDriver:
             latency = time.perf_counter() - submitted
             report.record(
                 RequestOutcome(
-                    item.request.request_id, item.request.model_id, STATUS_OK, latency
+                    item.request.request_id,
+                    item.request.model_id,
+                    STATUS_OK,
+                    latency,
+                    hops=hops_of(response) or hops_of(item.request),
                 )
             )
             report.record_prediction(item.request.request_id, response.logits)

@@ -47,6 +47,7 @@ class RequestOutcome:
     status: int  #: STATUS_OK / STATUS_REJECTED / STATUS_FAILED / STATUS_HUNG
     latency_s: float = 0.0  #: submit → resolution (0 for hung futures)
     error: Optional[str] = None  #: exception class name for failures
+    hops: Optional[Dict[str, float]] = None  #: per-hop milliseconds (traced runs)
 
     @property
     def ok(self) -> bool:
@@ -163,6 +164,33 @@ class SLOReport:
     def offered_rps(self) -> float:
         return self.requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
+    @property
+    def requests_traced(self) -> int:
+        """Outcomes that carry a per-hop latency decomposition."""
+        return sum(1 for o in self.outcomes if o.hops)
+
+    def trace_summary(self) -> Optional[Dict[str, object]]:
+        """Per-hop latency percentiles over every traced outcome.
+
+        ``None`` when no outcome carried hops (tracing was off), so untraced
+        reports keep their exact pre-trace shape.
+        """
+        histograms: Dict[str, LatencyHistogram] = {}
+        for outcome in self.outcomes:
+            if not outcome.hops:
+                continue
+            for hop, ms in outcome.hops.items():
+                histogram = histograms.get(hop)
+                if histogram is None:
+                    histogram = histograms[hop] = LatencyHistogram()
+                histogram.record(ms / 1e3)
+        if not histograms:
+            return None
+        return {
+            "requests_traced": self.requests_traced,
+            "hops": {hop: histograms[hop].summary() for hop in sorted(histograms)},
+        }
+
     def to_dict(self, timing: bool = True) -> Dict[str, object]:
         """The report as a JSON-compatible dict.
 
@@ -202,6 +230,9 @@ class SLOReport:
                 "latency": self.latency_summary(),
                 "fault_log": self.fault_log,
             }
+            trace = self.trace_summary()
+            if trace is not None:
+                slo["trace"] = trace
             if self.cluster_stats is not None:
                 observed = self.observed_per_shard()
                 slo["cluster"] = {
@@ -237,6 +268,15 @@ class SLOReport:
                 f"  cluster:  merged p99 {merged['p99_ms']:.2f}ms, observed imbalance "
                 f"{self.imbalance(observed):.2f}, cache hit rate "
                 f"{self.cluster_stats['cache']['hit_rate']:.2f}"
+            )
+        trace = self.trace_summary()
+        if trace is not None:
+            hops = ", ".join(
+                f"{hop} p99 {summary['p99_ms']:.2f}ms"
+                for hop, summary in trace["hops"].items()
+            )
+            lines.append(
+                f"  trace:    {trace['requests_traced']}/{self.requests} traced — {hops}"
             )
         for event in self.fault_log:
             lines.append(f"  fault:    request {event['at_request']}: {event['summary']}")

@@ -1,0 +1,52 @@
+"""repro.pipeline: content-addressed, resumable experiment DAGs.
+
+A pipeline is a small DAG of :class:`Step`\\ s.  Each step's output is
+stored on disk under a key derived from the full closure that produced it —
+step name, code fingerprint, params, and the keys of its upstream outputs —
+so re-running an unchanged pipeline is 100% verified cache hits, and editing
+one step's params re-runs exactly that step and its downstream dependents.
+
+>>> from repro.pipeline import Pipeline, PipelineStore, standard_chain
+>>> pipe = Pipeline(standard_chain(tenants=2), PipelineStore("/tmp/store"))
+>>> summary = pipe.run()
+>>> summary.all_hits          # second run, nothing changed
+False
+>>> pipe.run().all_hits
+True
+"""
+
+from .fingerprint import canonical_bytes, canonical_dumps, code_fingerprint, content_key
+from .presets import PIPELINES, build_pipeline, pipeline_names
+from .step import Pipeline, RunSummary, Step, StepContext, StepResult
+from .steps import (
+    encode_formats,
+    prune_fleet,
+    register_fleet,
+    replay_requests,
+    score_replay,
+    standard_chain,
+)
+from .store import PipelineStore, StoreEntry
+
+__all__ = [
+    "Pipeline",
+    "PipelineStore",
+    "RunSummary",
+    "Step",
+    "StepContext",
+    "StepResult",
+    "StoreEntry",
+    "PIPELINES",
+    "build_pipeline",
+    "pipeline_names",
+    "standard_chain",
+    "prune_fleet",
+    "encode_formats",
+    "register_fleet",
+    "replay_requests",
+    "score_replay",
+    "canonical_dumps",
+    "canonical_bytes",
+    "content_key",
+    "code_fingerprint",
+]

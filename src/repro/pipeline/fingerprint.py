@@ -1,0 +1,53 @@
+"""Content addressing for pipeline steps: canonical JSON + code fingerprints.
+
+A step's cache key is the hash of its *closure*: the step name, a
+fingerprint of the code that implements it, its canonicalized parameters and
+the keys of every upstream output it consumes.  Any change to any of those —
+an edited parameter, a re-implemented function, a re-run upstream step —
+changes the key, so stale cache entries are structurally unreachable rather
+than "invalidated".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from typing import Callable
+
+__all__ = ["canonical_dumps", "canonical_bytes", "content_key", "code_fingerprint"]
+
+
+def canonical_dumps(payload) -> str:
+    """Canonical JSON: sorted keys, fixed separators, no NaN.
+
+    The same encoding contract as the gateway wire envelopes
+    (:func:`repro.gateway.wire.dumps`), restated here so the pipeline layer
+    does not import the serving stack just to hash a dict.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def canonical_bytes(payload) -> bytes:
+    return canonical_dumps(payload).encode("utf-8")
+
+
+def content_key(payload) -> str:
+    """sha256 hex digest of the canonical encoding of ``payload``."""
+    return hashlib.sha256(canonical_bytes(payload)).hexdigest()
+
+
+def code_fingerprint(fn: Callable) -> str:
+    """A stable digest of a step function's implementation.
+
+    Hashes the function's source text when it is available (the normal
+    case), so editing a step's body re-keys it just like editing its
+    params.  Callables without retrievable source (builtins, C extensions)
+    fall back to their qualified name — coarser, but still stable.
+    """
+    target = inspect.unwrap(fn)
+    try:
+        source = inspect.getsource(target)
+    except (OSError, TypeError):
+        source = f"{getattr(target, '__module__', '?')}.{getattr(target, '__qualname__', repr(target))}"
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()

@@ -33,6 +33,7 @@ from .service import (
     PersonalizationService,
     ServiceConfig,
     clear_universal_model_cache,
+    set_universal_model_store,
     restrict_head_to_classes,
     universal_model,
 )
@@ -51,5 +52,6 @@ __all__ = [
     "ServiceConfig",
     "universal_model",
     "clear_universal_model_cache",
+    "set_universal_model_store",
     "restrict_head_to_classes",
 ]

@@ -11,6 +11,7 @@ request.  Responses come back in submission order regardless of grouping.
 from __future__ import annotations
 
 import re
+import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Set
 
@@ -96,9 +97,16 @@ class BatchScheduler:
             limit = self.max_batch_size or len(indices)
             for start in range(0, len(indices), limit):
                 chunk = indices[start : start + limit]
+                dispatch_start = time.perf_counter()
                 outputs = engine.predict_many([queue[i].inputs for i in chunk])
+                dispatch_elapsed = time.perf_counter() - dispatch_start
                 self.dispatches += 1
                 self.largest_group = max(self.largest_group, len(chunk))
+                for i in chunk:
+                    # Every fused request shares the chunk's engine time —
+                    # the fusion is exactly what the span should show.
+                    if queue[i].trace is not None:
+                        queue[i].trace.add("engine", dispatch_elapsed)
                 for index, logits in zip(chunk, outputs):
                     responses[index] = PredictResponse(
                         request_id=queue[index].request_id,
@@ -107,6 +115,8 @@ class BatchScheduler:
                         classes=logits.argmax(axis=1),
                         batched_with=len(chunk),
                     )
+                    if queue[index].trace is not None:
+                        responses[index].trace = queue[index].trace
         self.requests_served += len(queue)
         return [r for r in responses if r is not None]
 

@@ -45,6 +45,7 @@ __all__ = [
     "PersonalizationService",
     "universal_model",
     "clear_universal_model_cache",
+    "set_universal_model_store",
     "restrict_head_to_classes",
 ]
 
@@ -53,12 +54,77 @@ __all__ = [
 # Universal model provider (shared backbone pre-training, cached per config)
 # ---------------------------------------------------------------------------
 
-_UNIVERSAL_CACHE: Dict[Tuple, Tuple[ClassifierModel, float]] = {}
+#: Content key (sha256 of the training closure) -> (model, accuracy).
+_UNIVERSAL_CACHE: Dict[str, Tuple[ClassifierModel, float]] = {}
+
+#: Optional on-disk tier: a :class:`repro.pipeline.store.PipelineStore`
+#: under which trained backbones persist across processes.
+_UNIVERSAL_STORE = None
+
+#: Step name universal models are filed under in the pipeline store.
+_UNIVERSAL_STEP = "universal-model"
 
 
 def clear_universal_model_cache() -> None:
     """Drop every cached pre-trained universal model (used by tests)."""
     _UNIVERSAL_CACHE.clear()
+
+
+def set_universal_model_store(store) -> None:
+    """Persist universal models through a pipeline store (``None`` disables).
+
+    Accepts a :class:`repro.pipeline.store.PipelineStore` or a directory
+    path.  Once set, a trained backbone is committed under its content key
+    and later processes (or a resumed sweep) load it instead of retraining.
+    """
+    global _UNIVERSAL_STORE
+    if store is None:
+        _UNIVERSAL_STORE = None
+        return
+    from ..pipeline.store import PipelineStore
+
+    _UNIVERSAL_STORE = store if isinstance(store, PipelineStore) else PipelineStore(store)
+
+
+def _universal_model_key(spec: Dict[str, object], seed: int) -> str:
+    """Content key of one universal-model training closure.
+
+    Keyed by the full protocol *spec*, the *seed* and a fingerprint of the
+    training code itself — not by names or paths — so editing the protocol
+    or the trainer invalidates stale entries structurally (the old
+    name-keyed cache served stale models when specs changed under the same
+    name).
+    """
+    from ..pipeline.fingerprint import code_fingerprint, content_key
+
+    return content_key(
+        {"spec": spec, "seed": seed, "code": code_fingerprint(_train_universal)}
+    )
+
+
+def _train_universal(
+    model_name: str,
+    dataset_preset: str,
+    pretrain_epochs: int,
+    num_classes: int,
+    input_size: int,
+    batch_size: int,
+    seed: int,
+    dataset: Optional[SyntheticImageDataset] = None,
+) -> Tuple[ClassifierModel, float]:
+    """Actually pre-train one universal backbone (the fingerprinted closure)."""
+    dataset = dataset or make_dataset(dataset_preset, seed=seed)
+    all_classes = list(range(num_classes))
+    train_x, train_y = dataset.split("train", classes=all_classes)
+    val_x, val_y = dataset.split("val", classes=all_classes)
+    train_loader = DataLoader(train_x, train_y, batch_size=batch_size, seed=seed)
+    val_loader = DataLoader(val_x, val_y, batch_size=batch_size, shuffle=False)
+
+    model = build_model(model_name, num_classes=num_classes, input_size=input_size, seed=seed)
+    trainer = Trainer(model, TrainConfig(epochs=pretrain_epochs, lr=0.05))
+    trainer.fit(train_loader, val_loader=None)
+    accuracy = evaluate(model, iter(val_loader))
+    return model, accuracy
 
 
 def universal_model(
@@ -75,36 +141,61 @@ def universal_model(
 
     Returns ``(model, validation_accuracy)``.  The cached instance is never
     handed out directly — callers receive a deep copy they can prune.  The
-    key contains every parameter of the training protocol, so experiments
-    and services with the same protocol share one pre-trained backbone.
+    cache is keyed by a content hash of the full training closure (protocol
+    spec, seed and a fingerprint of the training code), so experiments and
+    services with the same protocol share one pre-trained backbone — and a
+    *changed* protocol or trainer can never be served a stale entry.  With
+    :func:`set_universal_model_store` configured, trained backbones also
+    persist on disk under the same keys.
     """
     from ..backend import active_backend
 
-    # The backend participates in the cache key: different backends may
-    # accumulate different floating-point round-off during training, and a
-    # cached model must be reproducible for the backend that trained it.
-    key = (
-        model_name,
-        dataset_preset,
-        pretrain_epochs,
-        num_classes,
-        input_size,
-        batch_size,
-        seed,
-        active_backend().name,
-    )
+    # The backend participates in the key: different backends may accumulate
+    # different floating-point round-off during training, and a cached model
+    # must be reproducible for the backend that trained it.
+    spec = {
+        "model_name": model_name,
+        "dataset_preset": dataset_preset,
+        "pretrain_epochs": pretrain_epochs,
+        "num_classes": num_classes,
+        "input_size": input_size,
+        "batch_size": batch_size,
+        "backend": active_backend().name,
+    }
+    key = _universal_model_key(spec, seed)
     if key not in _UNIVERSAL_CACHE:
-        dataset = dataset or make_dataset(dataset_preset, seed=seed)
-        all_classes = list(range(num_classes))
-        train_x, train_y = dataset.split("train", classes=all_classes)
-        val_x, val_y = dataset.split("val", classes=all_classes)
-        train_loader = DataLoader(train_x, train_y, batch_size=batch_size, seed=seed)
-        val_loader = DataLoader(val_x, val_y, batch_size=batch_size, shuffle=False)
-
-        model = build_model(model_name, num_classes=num_classes, input_size=input_size, seed=seed)
-        trainer = Trainer(model, TrainConfig(epochs=pretrain_epochs, lr=0.05))
-        trainer.fit(train_loader, val_loader=None)
-        accuracy = evaluate(model, iter(val_loader))
+        entry = (
+            _UNIVERSAL_STORE.get(_UNIVERSAL_STEP, key)
+            if _UNIVERSAL_STORE is not None
+            else None
+        )
+        if entry is not None:
+            model = build_model(
+                model_name, num_classes=num_classes, input_size=input_size, seed=seed
+            )
+            with np.load(entry.artifact_dir / "state.npz") as npz:
+                model.load_state_dict({name: npz[name].copy() for name in npz.files})
+            accuracy = float(entry.output["accuracy"])
+        else:
+            model, accuracy = _train_universal(
+                model_name,
+                dataset_preset,
+                pretrain_epochs,
+                num_classes,
+                input_size,
+                batch_size,
+                seed,
+                dataset=dataset,
+            )
+            if _UNIVERSAL_STORE is not None:
+                staging = _UNIVERSAL_STORE.staging_dir(_UNIVERSAL_STEP, key)
+                np.savez(staging / "artifacts" / "state.npz", **model.state_dict())
+                _UNIVERSAL_STORE.commit(
+                    _UNIVERSAL_STEP,
+                    key,
+                    {"accuracy": accuracy, "seed": seed, "spec": spec},
+                    staging=staging,
+                )
         _UNIVERSAL_CACHE[key] = (model, accuracy)
 
     cached_model, accuracy = _UNIVERSAL_CACHE[key]
@@ -327,6 +418,12 @@ class PersonalizationService:
         elapsed = time.perf_counter() - start
         for _ in responses:
             self.latency.record(elapsed)
+        for request in requests:
+            # Traced requests attribute the whole dispatch to the `service`
+            # hop (scheduler + cache + engine, as a synchronous caller sees
+            # it); the `engine` sub-span is recorded by the scheduler.
+            if request.trace is not None:
+                request.trace.add("service", elapsed)
         return responses
 
     # -- introspection / persistence ------------------------------------------
@@ -343,21 +440,24 @@ class PersonalizationService:
         ``scheduler`` are this facade's own extras.
         """
         from ..cluster.telemetry import assert_stats_schema
+        from ..trace import trace_block
 
         scheduler = self.scheduler.stats()
-        return assert_stats_schema(
-            {
-                "models": len(self.registry),
-                "latency": self.latency.summary(),
-                "cache": self.cache.stats(),
-                "queue": {
-                    "pending": scheduler["pending"],
-                    "max_depth": scheduler["depth_max"],
-                },
-                "errors": {"failed": self.failed, "rejected": 0},
-                "scheduler": scheduler,
-            }
-        )
+        payload = {
+            "models": len(self.registry),
+            "latency": self.latency.summary(),
+            "cache": self.cache.stats(),
+            "queue": {
+                "pending": scheduler["pending"],
+                "max_depth": scheduler["depth_max"],
+            },
+            "errors": {"failed": self.failed, "rejected": 0},
+            "scheduler": scheduler,
+        }
+        block = trace_block()
+        if block is not None:
+            payload["trace"] = block
+        return assert_stats_schema(payload)
 
     def save(self, root) -> None:
         """Persist every registered model under ``root`` (registry layout)."""

@@ -176,6 +176,11 @@ class PredictRequest(_JsonMessage):
     inputs: np.ndarray
     request_id: Optional[str] = None
 
+    #: In-flight trace context (:class:`repro.trace.Trace`) or ``None``.
+    #: Deliberately a plain class attribute — not a dataclass field — so it
+    #: stays outside ``to_dict``/equality and the wire format is unchanged.
+    trace = None
+
     def __post_init__(self) -> None:
         self.inputs = np.asarray(self.inputs, dtype=np.float64)
         if self.inputs.ndim == 3:  # single image -> batch of one
@@ -222,6 +227,10 @@ class PredictResponse(_JsonMessage):
     classes: np.ndarray
     batched_with: int = 1
     status: int = 200
+
+    #: Completed trace context for traced requests (see
+    #: :attr:`PredictRequest.trace`); outside the wire dict by design.
+    trace = None
 
     def __post_init__(self) -> None:
         self.logits = np.asarray(self.logits, dtype=np.float64)
