@@ -26,6 +26,7 @@ registry; what the cluster shards is the serving path, where the traffic is.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
@@ -34,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..errors import InvalidArgumentError, NotFoundError, UnavailableError
+from ..metrics.events import emit
 from ..serve.registry import ModelRegistry
 from ..serve.service import PersonalizationService, ServiceConfig
 from ..serve.types import PredictRequest, PredictResponse
@@ -164,6 +166,12 @@ class ClusterService:
         self._placement_signature: Optional[tuple] = None
         self._started = False
         self._closed = False
+        # Requests failed *at the frontend* (fail-fast submit to a dead
+        # shard): no worker telemetry ever sees them, so the frontend counts
+        # them itself — otherwise a mid-outage stats() would under-report
+        # failures and starve the burn-rate alert of its signal.
+        self._frontend_failed = 0
+        self._frontend_failed_lock = threading.Lock()
         for _ in range(self.cluster.shards):
             self._add_worker()
         if start:
@@ -207,6 +215,8 @@ class ClusterService:
         self.router.add_shard(shard_id)
         if self._started:
             worker.start()
+        emit("shard_add", shard=shard_id, workers=self.cluster.workers,
+             shards=len(self._workers))
         return shard_id
 
     def add_shard(self) -> int:
@@ -231,6 +241,7 @@ class ClusterService:
         # lands on it, then drain what it already owns.
         self.router.remove_shard(shard_id)
         worker = self._workers.pop(shard_id)
+        emit("shard_drain", shard=shard_id, shards=len(self._workers))
         worker.stop(drain=True)
 
     def kill_shard(self, shard_id: int) -> None:
@@ -247,6 +258,7 @@ class ClusterService:
         if shard_id not in self._workers:
             raise KeyError(f"unknown shard id {shard_id!r}")
         self._workers[shard_id].kill()
+        emit("shard_kill", shard=shard_id)
 
     @property
     def shards(self) -> int:
@@ -381,6 +393,8 @@ class ClusterService:
         worker = self.worker_for(request.model_id)
         if worker.pending() >= self.cluster.high_water:
             worker.telemetry.record_reject()
+            emit("admission_reject", source="cluster", shard=worker.shard_id,
+                 model_id=request.model_id, reason="high_water")
             future.set_result(
                 RejectedResponse(request_id=request.request_id, model_id=request.model_id)
             )
@@ -389,6 +403,9 @@ class ClusterService:
             return worker.submit(request)
         except ShardOverloadError:
             # Lost the race between the depth check and the bounded put.
+            worker.telemetry.record_reject()
+            emit("admission_reject", source="cluster", shard=worker.shard_id,
+                 model_id=request.model_id, reason="queue_full")
             future.set_result(
                 RejectedResponse(request_id=request.request_id, model_id=request.model_id)
             )
@@ -398,6 +415,10 @@ class ClusterService:
             # Fail the future cleanly instead of raising into the caller —
             # the contract is that submit() always returns a future and a
             # dead shard never hangs one.
+            with self._frontend_failed_lock:
+                self._frontend_failed += 1
+            emit("shard_down", shard=worker.shard_id,
+                 model_id=request.model_id, error=type(exc).__name__)
             future.set_exception(exc)
             return future
 
@@ -504,8 +525,11 @@ class ClusterService:
                 "max_depth": totals["queue_depth"]["max"],
             },
             "errors": {
-                "failed": totals["failed"],
+                # Worker-recorded failures plus the frontend's fail-fast
+                # count (dead-shard submits never reach worker telemetry).
+                "failed": totals["failed"] + self._frontend_failed,
                 "rejected": totals["rejected"],
+                "frontend_failed": self._frontend_failed,
             },
             "totals": totals,
             "per_shard": per_shard,

@@ -40,6 +40,11 @@ STATS_SCHEMA: Dict[str, Tuple[str, ...]] = {
 }
 
 
+#: Blocks whose numeric fields are all semantically non-negative (counts,
+#: depths, milliseconds) — validated value-wise, not just key-wise.
+_NONNEGATIVE_BLOCKS = ("latency", "queue")
+
+
 def assert_stats_schema(stats: Dict[str, object]) -> Dict[str, object]:
     """Validate (and return) a stats dict against :data:`STATS_SCHEMA`.
 
@@ -47,6 +52,12 @@ def assert_stats_schema(stats: Dict[str, object]) -> Dict[str, object]:
     drift fails loudly at the facade that introduced it rather than in a
     dashboard.  Blocks may carry *more* fields than the schema requires —
     the contract is a shared floor, not a ceiling.
+
+    Values are checked too, not just keys: every numeric field of the
+    ``latency`` and ``queue`` blocks must be finite and non-negative.  A NaN
+    percentile or a negative queue depth is a telemetry bug upstream — and
+    it would silently corrupt every time series, alert rule, and SLO report
+    fed from this snapshot, so it fails here, at the source.
     """
     problems = []
     for block_name, fields in STATS_SCHEMA.items():
@@ -57,6 +68,21 @@ def assert_stats_schema(stats: Dict[str, object]) -> Dict[str, object]:
         absent = [field for field in fields if field not in block]
         if absent:
             problems.append(f"block {block_name!r} missing fields {absent}")
+        if block_name in _NONNEGATIVE_BLOCKS:
+            for field, value in block.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                value = float(value)
+                if value != value or value in (float("inf"), float("-inf")):
+                    problems.append(
+                        f"block {block_name!r} field {field!r} is not finite"
+                        f" ({value})"
+                    )
+                elif value < 0:
+                    problems.append(
+                        f"block {block_name!r} field {field!r} is negative"
+                        f" ({value})"
+                    )
     if problems:
         raise AssertionError(
             "stats schema violation: " + "; ".join(problems)

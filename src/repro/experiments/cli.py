@@ -18,6 +18,12 @@ Installed as the ``repro-experiments`` console script; also runnable as
         --measure --json slo.json             # chaos run + measured SLOReport
     python -m repro.experiments loadgen --scenario steady-uniform --shards 2 \
         --transport http --json               # replay over a real HTTP socket
+    python -m repro.experiments loadgen --scenario shard-failure --shards 2 \
+        --monitor --metrics-json metrics.json --events-jsonl events.jsonl
+    python -m repro.experiments monitor --scenario shard-failure --shards 2 \
+        --watch                               # stream chaos events + alerts
+    python -m repro.experiments monitor --url http://127.0.0.1:8080 \
+        --ticks 10 --json -                   # scrape a live gateway's /statsz
 
 Each experiment prints the same rows/series the corresponding paper figure
 reports (at the reduced scale documented in EXPERIMENTS.md).  ``serve``
@@ -46,6 +52,7 @@ from .fig8_hardware import aggregate_fig8, run_fig8
 from .headline import run_headline
 from .loadgen_cli import SMOKE_REQUESTS as LOADGEN_SMOKE_REQUESTS
 from .loadgen_cli import LoadgenConfig, print_loadgen
+from .monitor_cli import MonitorConfig, print_monitor
 from .pipeline_cli import PipelineCliConfig, list_pipeline_steps, print_pipeline
 from .serve_demo import ServeDemoConfig, print_serve_demo
 
@@ -89,9 +96,10 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 }
 
 #: Every runnable command: the figure experiments plus the serving demo, the
-#: scenario load generator, and the experiment pipeline runner (all need CLI
-#: flags, so they are dispatched outside the EXPERIMENTS map).
-ALL_COMMANDS = sorted([*EXPERIMENTS, "serve", "loadgen", "pipeline"])
+#: scenario load generator, the metrics-plane monitor, and the experiment
+#: pipeline runner (all need CLI flags, so they are dispatched outside the
+#: EXPERIMENTS map).
+ALL_COMMANDS = sorted([*EXPERIMENTS, "serve", "loadgen", "monitor", "pipeline"])
 
 
 def _write_stats_json(path: str, report: Dict) -> None:
@@ -227,6 +235,53 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="record per-request hop spans (gateway/middleware/frontend/"
         "shard/engine) into the SLO report; forces a gateway transport",
     )
+    monitor_group = parser.add_argument_group("monitor / metrics options")
+    monitor_group.add_argument(
+        "--monitor", action="store_true",
+        help="attach the metrics plane (TelemetryPoller + EventLog + "
+        "SLOMonitor) to the loadgen run; the report gains a metrics line "
+        "and --measure JSON a slo.metrics block",
+    )
+    monitor_group.add_argument(
+        "--metrics-json", metavar="PATH",
+        help="write the monitored run's full time-series + alert dump to "
+        "PATH (implies --monitor for loadgen; also honoured by 'monitor')",
+    )
+    monitor_group.add_argument(
+        "--events-jsonl", metavar="PATH",
+        help="write the monitored run's structured event log to PATH, one "
+        "JSON object per line (implies --monitor)",
+    )
+    monitor_group.add_argument(
+        "--poll-interval", type=float, default=0.05, metavar="SECONDS",
+        help="metrics sampling interval (default: 0.05)",
+    )
+    monitor_group.add_argument(
+        "--alert-p99-ms", type=float, default=250.0, metavar="MS",
+        help="p99-over-threshold alert rule threshold (default: 250)",
+    )
+    monitor_group.add_argument(
+        "--alert-burn-rate", type=float, default=0.05, metavar="RATIO",
+        help="rejection/failure burn-rate alert threshold (default: 0.05)",
+    )
+    monitor_group.add_argument(
+        "--alert-queue-depth", type=float, default=64.0, metavar="N",
+        help="queue-depth-sustained alert threshold (default: 64)",
+    )
+    monitor_group.add_argument(
+        "--url", metavar="BASE_URL",
+        help="monitor: scrape a live gateway's GET /statsz instead of "
+        "running a scenario in process (e.g. http://127.0.0.1:8080)",
+    )
+    monitor_group.add_argument(
+        "--ticks", type=int, default=5, metavar="N",
+        help="monitor --url: number of /statsz scrapes (default: 5)",
+    )
+    monitor_group.add_argument(
+        "--watch", action="store_true",
+        help="monitor: stream lifecycle events live (in-process mode) or "
+        "redraw the dashboard per scrape (--url mode)",
+    )
     pipeline_group = parser.add_argument_group("pipeline options")
     pipeline_group.add_argument(
         "--pipeline", default="standard", metavar="NAME",
@@ -311,6 +366,40 @@ def main(argv: Sequence[str] | None = None) -> int:
                 transport=args.transport,
                 smoke=args.smoke,
                 trace=args.trace,
+                # The dump flags only make sense on a monitored run, so they
+                # imply --monitor rather than silently writing nothing.
+                monitor=bool(
+                    args.monitor or args.metrics_json or args.events_jsonl
+                ),
+                poll_interval_s=args.poll_interval,
+                alert_p99_ms=args.alert_p99_ms,
+                alert_burn_rate=args.alert_burn_rate,
+                alert_queue_depth=args.alert_queue_depth,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    if "monitor" in requested:
+        try:
+            monitor_config = MonitorConfig(
+                scenario=args.scenario,
+                shards=args.shards,
+                workers=args.workers,
+                tenants=args.loadgen_tenants,
+                requests=args.loadgen_requests,
+                seed=args.seed,
+                cache_capacity=args.serve_capacity,
+                time_scale=args.time_scale,
+                backend=args.backend or "fast",
+                transport=args.transport,
+                smoke=args.smoke,
+                poll_interval_s=args.poll_interval,
+                alert_p99_ms=args.alert_p99_ms,
+                alert_burn_rate=args.alert_burn_rate,
+                alert_queue_depth=args.alert_queue_depth,
+                url=args.url,
+                ticks=args.ticks,
+                watch=args.watch,
             )
         except ValueError as exc:
             parser.error(str(exc))
@@ -338,7 +427,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             # clean, diffable JSON document.
             if args.json != "-":
                 print("\n===== loadgen =====")
-            print_loadgen(loadgen_config, json_target=args.json, measure=args.measure)
+            print_loadgen(
+                loadgen_config,
+                json_target=args.json,
+                measure=args.measure,
+                metrics_json=args.metrics_json,
+                events_jsonl=args.events_jsonl,
+            )
+        elif name == "monitor":
+            if args.json != "-":
+                print("\n===== monitor =====")
+            print_monitor(monitor_config, json_target=args.metrics_json or args.json)
         elif name == "pipeline":
             print("\n===== pipeline =====")
             print_pipeline(pipeline_config)

@@ -42,6 +42,14 @@ from ..loadgen import (
     build_scenario,
     synthetic_fleet,
 )
+from ..metrics import (
+    EventLog,
+    MetricsRegistry,
+    SLOMonitor,
+    TelemetryPoller,
+    default_rules,
+    set_event_log,
+)
 
 __all__ = ["LoadgenConfig", "run_loadgen", "print_loadgen", "TRANSPORTS"]
 
@@ -75,6 +83,11 @@ class LoadgenConfig:
     transport: str = "local"  #: see TRANSPORTS
     smoke: bool = False
     trace: bool = False  #: record per-request hop spans into the SLO report
+    monitor: bool = False  #: attach TelemetryPoller + EventLog + SLOMonitor
+    poll_interval_s: float = 0.05  #: metrics sampling interval (monitor runs)
+    alert_p99_ms: float = 250.0  #: p99-over-threshold rule (monitor runs)
+    alert_burn_rate: float = 0.05  #: rejection-burn-rate rule (monitor runs)
+    alert_queue_depth: float = 64.0  #: queue-depth-sustained rule (monitor runs)
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIOS:
@@ -98,6 +111,10 @@ class LoadgenConfig:
             raise ValueError(f"requests must be >= 1, got {self.requests}")
         if self.time_scale < 0:
             raise ValueError(f"time_scale must be >= 0, got {self.time_scale}")
+        if self.poll_interval_s <= 0:
+            raise ValueError(
+                f"poll_interval_s must be > 0, got {self.poll_interval_s}"
+            )
         if self.smoke and self.requests is None:
             self.requests = SMOKE_REQUESTS
         # A one-shard fleet has nothing to fail over to: shard-kill chaos
@@ -172,19 +189,69 @@ def run_loadgen(config: LoadgenConfig) -> Tuple[SLOReport, Dict[str, object]]:
         _trace.reset_aggregator()
     with _trace.tracing(config.trace) if config.trace else _nullcontext():
         with ClusterService(cluster_config, registry=registry) as cluster:
-            if config.transport == "direct":
-                report = LoadDriver(cluster, driver_config).run(workload)
-            elif config.transport == "local":
-                report = LoadDriver(ClusterBackend(cluster), driver_config).run(workload)
-            else:
-                gateway = Gateway(ClusterBackend(cluster))
-                if config.transport == "loopback":
-                    client = GatewayClient(LoopbackTransport(gateway))
-                    report = LoadDriver(client, driver_config).run(workload)
-                else:  # http: a real socket on an ephemeral port
-                    with serve_http(gateway) as server:
-                        with GatewayClient(server.transport()) as client:
-                            report = LoadDriver(client, driver_config).run(workload)
+            poller = previous_log = None
+            if config.monitor:
+                # The continuous observability plane, attached for the run:
+                # lifecycle events into a fresh process-wide log, the
+                # cluster's unified stats sampled into ring-buffer series,
+                # and the stock SLO rules evaluated on every sample.  The
+                # poller watches the *cluster* regardless of transport — the
+                # common denominator every front door serves from.
+                events = EventLog()
+                previous_log = set_event_log(events)
+                monitor = SLOMonitor(
+                    MetricsRegistry(),
+                    default_rules(
+                        p99_ms=config.alert_p99_ms,
+                        burn_ratio=config.alert_burn_rate,
+                        queue_depth=config.alert_queue_depth,
+                    ),
+                    event_log=events,
+                )
+                poller = TelemetryPoller(
+                    cluster,
+                    monitor.registry,
+                    interval_s=config.poll_interval_s,
+                    monitor=monitor,
+                ).start()
+            try:
+                if config.transport == "direct":
+                    report = LoadDriver(cluster, driver_config).run(workload)
+                elif config.transport == "local":
+                    report = LoadDriver(ClusterBackend(cluster), driver_config).run(workload)
+                else:
+                    gateway = Gateway(ClusterBackend(cluster))
+                    if config.transport == "loopback":
+                        client = GatewayClient(LoopbackTransport(gateway))
+                        report = LoadDriver(client, driver_config).run(workload)
+                    else:  # http: a real socket on an ephemeral port
+                        with serve_http(gateway) as server:
+                            with GatewayClient(server.transport()) as client:
+                                report = LoadDriver(client, driver_config).run(workload)
+            finally:
+                if poller is not None:
+                    # The final sample folds the run's tail window in, so a
+                    # replay shorter than one poll interval still lands its
+                    # whole story (and gets one post-run rule evaluation).
+                    poller.stop(final_sample=True)
+                    set_event_log(previous_log)
+            if poller is not None:
+                report.metrics_summary = {
+                    "samples": poller.samples,
+                    "events": len(events),
+                    "event_counts": events.counts(),
+                    "series": monitor.registry.summary(),
+                    "alerts": [alert.to_dict() for alert in monitor.alerts],
+                    "alerts_fired": monitor.fired,
+                }
+                # The full artifacts (ring buffers, event ring, rule state)
+                # for --metrics-json / --events-jsonl and the monitor CLI.
+                report.monitor_artifacts = {
+                    "metrics": monitor.registry.to_dict(),
+                    "exposition": monitor.registry.render(),
+                    "events": [event.to_dict() for event in events.events()],
+                    "monitor": monitor.to_dict(),
+                }
     return report, report.to_dict(timing=False)
 
 
@@ -192,11 +259,15 @@ def print_loadgen(
     config: LoadgenConfig,
     json_target: Optional[str] = None,
     measure: bool = False,
+    metrics_json: Optional[str] = None,
+    events_jsonl: Optional[str] = None,
 ) -> SLOReport:
     """Run, print the human report, and optionally emit/persist JSON.
 
     ``json_target``: ``None`` (no JSON), ``"-"`` (stdout), or a path.
     With ``measure`` the JSON gains the wall-clock ``slo`` block.
+    ``metrics_json`` / ``events_jsonl`` persist a monitored run's full
+    time-series dump and event log (they imply ``--monitor`` upstream).
     """
     report, payload = run_loadgen(config)
     if measure:
@@ -211,4 +282,20 @@ def print_loadgen(
             with open(json_target, "w") as fh:
                 fh.write(serialized + "\n")
             print(f"wrote {json_target}")
+    artifacts = getattr(report, "monitor_artifacts", None)
+    if metrics_json is not None and artifacts is not None:
+        dump = {
+            "metrics": artifacts["metrics"],
+            "monitor": artifacts["monitor"],
+        }
+        with open(metrics_json, "w") as fh:
+            fh.write(json.dumps(dump, indent=2, sort_keys=True) + "\n")
+        if json_target != "-":
+            print(f"wrote {metrics_json}")
+    if events_jsonl is not None and artifacts is not None:
+        with open(events_jsonl, "w") as fh:
+            for event in artifacts["events"]:
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
+        if json_target != "-":
+            print(f"wrote {events_jsonl}")
     return report

@@ -26,6 +26,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..cluster.telemetry import LatencyHistogram
+from ..metrics.events import emit
 from ..errors import (
     ApiError,
     DeadlineExceededError,
@@ -197,6 +198,8 @@ class RateLimitMiddleware(Middleware):
             spent = self._spent.get(tenant, 0)
             if self.quota is not None and spent + cost > self.quota:
                 self.limited += 1
+                emit("admission_reject", source="gateway", tenant=tenant,
+                     reason="quota")
                 raise ResourceExhaustedError(
                     f"tenant {tenant!r} exhausted its quota of {self.quota} requests",
                     details={"tenant": tenant, "quota": self.quota, "spent": spent},
@@ -220,6 +223,8 @@ class RateLimitMiddleware(Middleware):
                     )
                 if not bucket.try_take(cost, now):
                     self.limited += 1
+                    emit("admission_reject", source="gateway", tenant=tenant,
+                         reason="rate_limit")
                     raise ResourceExhaustedError(
                         f"tenant {tenant!r} is over its rate limit "
                         f"({self.rate_per_s:g} req/s, burst {self.burst:g})",
@@ -309,6 +314,8 @@ class RetryMiddleware(Middleware):
             except ApiError as err:
                 if not err.retryable or attempt >= self.max_attempts:
                     raise
+                emit("retry", method=request.method, attempt=attempt,
+                     code=err.code)
             with self._lock:
                 self.retries += 1
                 # Full jitter: uniform in (0, backoff] — decorrelates herds.

@@ -13,18 +13,25 @@ The HTTP side is stdlib-only (:class:`http.server.ThreadingHTTPServer` +
 :class:`http.client.HTTPConnection`): POST the request envelope to ``/v2``;
 the HTTP status code mirrors the taxonomy code's projection (200 / 400 /
 404 / 429 / 503 / 504 / 500) while the body always carries the full
-envelope.  ``GET /healthz`` answers the health route for probes.
+envelope.  GET routes go through a registration table
+(:meth:`GatewayHTTPServer.add_get_route`): ``/healthz`` answers the health
+route for probes, ``/statsz`` the full unified stats schema as JSON, and
+``/metrics`` the Prometheus text exposition of the gateway's telemetry
+(scrape-driven sampling unless a background poller is attached).
 """
 
 from __future__ import annotations
 
 import abc
 import http.client
+import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Callable, Dict, Optional, Tuple, Union
 
-from ..errors import InvalidArgumentError, UnavailableError
+from ..errors import ApiError, InvalidArgumentError, UnavailableError
+from ..metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from ..metrics import MetricsRegistry, TelemetryPoller
 from .gateway import Gateway
 from .wire import ApiRequest, ApiResponse
 
@@ -150,8 +157,13 @@ class HttpTransport(Transport):
             self._drop_connection()
 
 
+#: What a GET route handler may return: a wire envelope (replied with its
+#: projected HTTP status) or a raw ``(status, content_type, body)`` triple.
+GetRouteResult = Union[ApiResponse, Tuple[int, str, bytes]]
+
+
 class _GatewayRequestHandler(BaseHTTPRequestHandler):
-    """Maps HTTP onto the gateway wire contract (POST /v2, GET /healthz)."""
+    """Maps HTTP onto the gateway wire contract (POST /v2 + the GET table)."""
 
     server_version = "repro-gateway/2"
     protocol_version = "HTTP/1.1"  # keep-alive, so HttpTransport can reuse
@@ -160,6 +172,13 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         body = response.to_json().encode("utf-8")
         self.send_response(response.http_status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_raw(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -182,18 +201,29 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         self._reply(self.server.gateway.handle_envelope(raw))
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path in ("/healthz", WIRE_PATH + "/health"):
-            self._reply(self.server.gateway.handle(ApiRequest("health")))
-            return
-        self._reply(
-            ApiResponse.failure(
-                None,
-                InvalidArgumentError(
-                    f"unknown path {self.path!r}; POST envelopes to {WIRE_PATH} "
-                    "or GET /healthz"
-                ),
+        handler = self.server.get_route(self.path)
+        if handler is None:
+            self._reply(
+                ApiResponse.failure(
+                    None,
+                    InvalidArgumentError(
+                        f"unknown path {self.path!r}; POST envelopes to "
+                        f"{WIRE_PATH} or GET one of "
+                        f"{self.server.get_route_paths()}"
+                    ),
+                )
             )
-        )
+            return
+        try:
+            result = handler()
+        except ApiError as err:
+            self._reply(ApiResponse.failure(None, err))
+            return
+        if isinstance(result, ApiResponse):
+            self._reply(result)
+        else:
+            status, content_type, body = result
+            self._reply_raw(status, content_type, body)
 
     def log_message(self, format: str, *args) -> None:
         """Silence the per-request stderr chatter (telemetry covers it)."""
@@ -207,14 +237,77 @@ class GatewayHTTPServer(ThreadingHTTPServer):
     with :meth:`start` / :meth:`stop` (or the context manager, which does
     both).  ``daemon_threads`` keeps stray keep-alive connections from
     wedging interpreter shutdown.
+
+    GET routes share one registration table: ``/healthz`` (and
+    ``/v2/health``) answer the health envelope, ``/statsz`` the full unified
+    stats as JSON, ``/metrics`` the Prometheus text exposition.  ``metrics``
+    may be a :class:`~repro.metrics.TelemetryPoller` (scrapes render its
+    registry; sampling stays scrape-driven unless the poller's background
+    thread is running) or a bare :class:`~repro.metrics.MetricsRegistry`
+    (render-only — some external sampler owns it).  By default the server
+    builds its own poller over the gateway, so ``GET /metrics`` works out of
+    the box with per-scrape sampling, exactly how Prometheus expects a
+    target to behave.
     """
 
     daemon_threads = True
 
-    def __init__(self, gateway: Gateway, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        gateway: Gateway,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[Union[TelemetryPoller, MetricsRegistry]] = None,
+    ) -> None:
         super().__init__((host, port), _GatewayRequestHandler)
         self.gateway = gateway
         self._thread: Optional[threading.Thread] = None
+        if metrics is None:
+            metrics = TelemetryPoller(gateway)
+        if isinstance(metrics, MetricsRegistry):
+            self.poller: Optional[TelemetryPoller] = None
+            self.metrics_registry = metrics
+        else:
+            self.poller = metrics
+            self.metrics_registry = metrics.registry
+        self._get_routes: Dict[str, Callable[[], GetRouteResult]] = {}
+        self.add_get_route("/healthz", self._route_health)
+        self.add_get_route(WIRE_PATH + "/health", self._route_health)
+        self.add_get_route("/statsz", self._route_statsz)
+        self.add_get_route("/metrics", self._route_metrics)
+
+    # -- GET route table ---------------------------------------------------------
+    def add_get_route(self, path: str, handler: Callable[[], GetRouteResult]) -> None:
+        """Register (or replace) one GET route on this server."""
+        if not path.startswith("/"):
+            raise ValueError(f"route path must start with '/', got {path!r}")
+        self._get_routes[path] = handler
+
+    def get_route(self, path: str) -> Optional[Callable[[], GetRouteResult]]:
+        return self._get_routes.get(path)
+
+    def get_route_paths(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._get_routes))
+
+    def _route_health(self) -> GetRouteResult:
+        return self.gateway.handle(ApiRequest("health"))
+
+    def _route_statsz(self) -> GetRouteResult:
+        body = json.dumps(self.gateway.stats(), sort_keys=True).encode("utf-8")
+        return (200, "application/json", body)
+
+    def _route_metrics(self) -> GetRouteResult:
+        """Prometheus text exposition of the gateway's telemetry.
+
+        With the server-owned (or any non-running) poller, each scrape takes
+        a fresh sample first; a poller already sampling in the background is
+        rendered as-is, and a bare registry likewise.
+        """
+        if self.poller is not None:
+            text = self.poller.exposition(sample=not self.poller.running)
+        else:
+            text = self.metrics_registry.render()
+        return (200, METRICS_CONTENT_TYPE, text.encode("utf-8"))
 
     @property
     def host(self) -> str:
@@ -259,10 +352,16 @@ class GatewayHTTPServer(ThreadingHTTPServer):
 
 
 def serve_http(
-    gateway: Gateway, host: str = "127.0.0.1", port: int = 0
+    gateway: Gateway,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    metrics: Optional[Union[TelemetryPoller, MetricsRegistry]] = None,
 ) -> GatewayHTTPServer:
     """Boot a started :class:`GatewayHTTPServer` for ``gateway``.
 
     ``port=0`` binds an ephemeral port; the caller reads ``server.port``.
+    ``metrics`` optionally shares a poller/registry with the caller (the
+    ``GET /metrics`` route renders it); by default the server samples its
+    own on each scrape.
     """
-    return GatewayHTTPServer(gateway, host=host, port=port).start()
+    return GatewayHTTPServer(gateway, host=host, port=port, metrics=metrics).start()

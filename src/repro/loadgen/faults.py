@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..cluster.frontend import ClusterService
+from ..metrics.events import emit
 from .scenario import FaultEvent
 
 __all__ = ["FaultInjector", "PoisonedEngineError", "PoisonedEngine"]
@@ -121,6 +122,7 @@ class FaultInjector:
         """
         worker = self.cluster.worker_for(model_id)
         worker.put_engine(model_id, PoisonedEngine(model_id))
+        emit("cache_poison", model_id=model_id, shard=worker.shard_id)
         return worker.shard_id
 
     def heal_cache(self, model_id: str) -> int:
@@ -167,4 +169,6 @@ class FaultInjector:
             raise ValueError(f"Unknown fault action {event.action!r}")
         entry = {"at_request": event.at_request, "action": event.action, "summary": summary}
         self.log.append(entry)
+        emit("fault", action=event.action, at_request=event.at_request,
+             summary=summary)
         return entry

@@ -72,6 +72,9 @@ class SLOReport:
         self.elapsed_s = 0.0
         self.cluster_stats: Optional[Dict[str, object]] = None
         self.fault_log: List[Dict[str, object]] = []
+        #: Time-series + alert summary from an attached TelemetryPoller run
+        #: (``loadgen --monitor``); ``None`` keeps the pre-metrics shape.
+        self.metrics_summary: Optional[Dict[str, object]] = None
         self._predictions = hashlib.sha256()
         self._prediction_count = 0
 
@@ -233,6 +236,8 @@ class SLOReport:
             trace = self.trace_summary()
             if trace is not None:
                 slo["trace"] = trace
+            if self.metrics_summary is not None:
+                slo["metrics"] = self.metrics_summary
             if self.cluster_stats is not None:
                 observed = self.observed_per_shard()
                 slo["cluster"] = {
@@ -277,6 +282,16 @@ class SLOReport:
             )
             lines.append(
                 f"  trace:    {trace['requests_traced']}/{self.requests} traced — {hops}"
+            )
+        if self.metrics_summary is not None:
+            alerts = self.metrics_summary.get("alerts", [])
+            fired = [a for a in alerts if a.get("state") == "firing"]
+            names = sorted({a["rule"] for a in fired})
+            lines.append(
+                f"  metrics:  {self.metrics_summary.get('samples', 0)} samples, "
+                f"{self.metrics_summary.get('events', 0)} events, "
+                f"{len(fired)} alert(s) fired"
+                + (f" ({', '.join(names)})" if names else "")
             )
         for event in self.fault_log:
             lines.append(f"  fault:    request {event['at_request']}: {event['summary']}")

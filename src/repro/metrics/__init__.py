@@ -1,0 +1,70 @@
+"""The continuous metrics plane: time series, exposition, events, alerts.
+
+Four pieces, composing into one observability loop over any serving facade:
+
+* :class:`MetricsRegistry` — labeled counters/gauges backed by bounded
+  ring-buffer :class:`TimeSeries` (seeded, byte-stable artifacts);
+* :class:`TelemetryPoller` — samples the unified stats schema from any
+  ``.stats()`` source on a fixed interval (or scrape-driven), via the shared
+  :func:`record_sample` mapping;
+* :class:`EventLog` + :func:`emit` — the structured JSONL lifecycle log
+  (shard add/kill/drain, cache evict/poison, admission rejections, retries,
+  alerts), off by default exactly like :mod:`repro.trace`;
+* :class:`SLOMonitor` — declarative :class:`AlertRule` evaluation with a
+  firing/resolved state machine, publishing typed :class:`Alert` events.
+
+Exposed over the wire as ``GET /metrics`` (Prometheus text, see
+:mod:`repro.metrics.exposition`) and ``GET /statsz`` on the gateway HTTP
+server, and over the CLI as ``repro.experiments monitor`` and
+``loadgen --monitor``.
+"""
+
+from .events import (
+    EVENT_KINDS,
+    Event,
+    EventLog,
+    emit,
+    event_log,
+    get_event_log,
+    set_event_log,
+)
+from .exposition import CONTENT_TYPE, MetricFamily, parse_text, render_families
+from .poller import TelemetryPoller, record_sample
+from .registry import Counter, Gauge, Metric, MetricsRegistry, TimeSeries
+from .slo import (
+    Alert,
+    AlertRule,
+    SLOMonitor,
+    default_rules,
+    p99_over,
+    queue_depth_sustained,
+    rejection_burn_rate,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Metric",
+    "Counter",
+    "Gauge",
+    "TimeSeries",
+    "TelemetryPoller",
+    "record_sample",
+    "CONTENT_TYPE",
+    "MetricFamily",
+    "parse_text",
+    "render_families",
+    "Event",
+    "EventLog",
+    "EVENT_KINDS",
+    "emit",
+    "event_log",
+    "set_event_log",
+    "get_event_log",
+    "Alert",
+    "AlertRule",
+    "SLOMonitor",
+    "p99_over",
+    "rejection_burn_rate",
+    "queue_depth_sustained",
+    "default_rules",
+]

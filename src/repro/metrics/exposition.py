@@ -1,0 +1,183 @@
+"""Prometheus text exposition: canonical rendering and a round-trip parser.
+
+The render side is deliberately canonical — metrics sorted by name, series
+sorted by label set, one float formatter, no timestamps — so the output of a
+seeded deterministic run is *byte-stable*, the same contract every other
+artifact in this repo honours.  The parse side exists so the contract is
+testable: ``render_families(parse(text)) == text`` is the round-trip
+invariant CI asserts, and the ``monitor --url`` scrape path reuses the
+parser against live gateways.
+
+Format reference: the Prometheus text exposition format 0.0.4 —
+``# HELP`` / ``# TYPE`` comment lines followed by
+``name{label="value",...} value`` samples.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "CONTENT_TYPE",
+    "MetricFamily",
+    "render_registry",
+    "render_families",
+    "parse_text",
+]
+
+#: The scrape content type ``GET /metrics`` answers with.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+@dataclass
+class MetricFamily:
+    """One parsed metric family: name, kind, help, and its samples."""
+
+    name: str
+    kind: str = "untyped"
+    help: str = ""
+    #: ``(sorted (label, value) pairs, sample value)`` in document order.
+    samples: List[Tuple[Tuple[Tuple[str, str], ...], float]] = field(
+        default_factory=list
+    )
+
+
+def format_value(value: float) -> str:
+    """The one float formatter both render paths share (round-trip stable)."""
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _unescape_help(text: str) -> str:
+    return text.replace(r"\n", "\n").replace(r"\\", "\\")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _unescape_label(value: str) -> str:
+    out, i = [], 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _render_sample(
+    name: str, labels: Tuple[Tuple[str, str], ...], value: float
+) -> str:
+    if labels:
+        inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in labels)
+        return f"{name}{{{inner}}} {format_value(value)}"
+    return f"{name} {format_value(value)}"
+
+
+def render_families(families: Dict[str, MetricFamily]) -> str:
+    """Canonical text for parsed families (sorted by name, then labels)."""
+    lines: List[str] = []
+    for name in sorted(families):
+        family = families[name]
+        if family.help:
+            lines.append(f"# HELP {name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {name} {family.kind}")
+        for labels, value in sorted(family.samples, key=lambda s: s[0]):
+            lines.append(_render_sample(name, labels, value))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_registry(registry) -> str:
+    """Canonical text for a live :class:`~repro.metrics.MetricsRegistry`."""
+    families: Dict[str, MetricFamily] = {}
+    for metric in registry.metrics():
+        family = MetricFamily(metric.name, kind=metric.kind, help=metric.help)
+        family.samples = [(labels, value) for labels, value in metric.samples()]
+        families[metric.name] = family
+    return render_families(families)
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    return float(raw)
+
+
+def parse_text(text: str) -> Dict[str, MetricFamily]:
+    """Parse Prometheus text exposition into metric families.
+
+    Raises ``ValueError`` on any malformed line — the round-trip test wants
+    a strict reader, not a forgiving one.
+    """
+    families: Dict[str, MetricFamily] = {}
+
+    def family(name: str) -> MetricFamily:
+        found = families.get(name)
+        if found is None:
+            found = families[name] = MetricFamily(name)
+        return found
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP ") :]
+            name, _, help_text = rest.partition(" ")
+            family(name).help = _unescape_help(help_text)
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE ") :]
+            name, _, kind = rest.partition(" ")
+            family(name).kind = kind.strip() or "untyped"
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        raw_labels = match.group("labels")
+        labels: Tuple[Tuple[str, str], ...] = ()
+        if raw_labels:
+            parsed = _LABEL_RE.findall(raw_labels)
+            # Strict: re-joining the matches must reproduce the label body.
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in parsed)
+            if rebuilt != raw_labels:
+                raise ValueError(f"line {lineno}: malformed labels {raw_labels!r}")
+            labels = tuple(
+                sorted((k, _unescape_label(v)) for k, v in parsed)
+            )
+        family(match.group("name")).samples.append(
+            (labels, _parse_value(match.group("value")))
+        )
+    return families

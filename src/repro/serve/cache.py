@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List
 
+from ..metrics.events import emit
 from .registry import ModelRegistry
 
 __all__ = ["EngineCache"]
@@ -51,9 +52,10 @@ class EngineCache:
     def _evict_overflow(self) -> None:
         """Detach-and-drop from the LRU end until capacity is respected."""
         while len(self._engines) > self.capacity:
-            _, evicted = self._engines.popitem(last=False)
+            model_id, evicted = self._engines.popitem(last=False)
             evicted.detach()
             self.evictions += 1
+            emit("cache_evict", model_id=model_id, reason="capacity")
 
     def put(self, model_id: str, engine) -> None:
         """Insert (or replace) an entry directly, as most-recently-used.
@@ -77,6 +79,7 @@ class EngineCache:
             return False
         engine.detach()
         self.evictions += 1
+        emit("cache_evict", model_id=model_id, reason="explicit")
         return True
 
     def clear(self) -> None:
