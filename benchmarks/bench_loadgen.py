@@ -19,9 +19,17 @@ Run under pytest-benchmark for the tracked numbers::
 or as a script (the CI smoke run)::
 
     PYTHONPATH=src python benchmarks/bench_loadgen.py --smoke --json BENCH_loadgen.json
+
+``--check`` adds the autoscaler acceptance gate: diurnal-ramp and
+shard-failure must hold their SLO on *strictly fewer* shard-seconds under
+the closed-loop autoscaler than under a static fleet provisioned at the
+autoscaler's ceiling, and two same-seed autoscaled replays must produce
+byte-identical decision logs (proven on the deterministic fluid simulator,
+cross-checked live against the real cluster).
 """
 
 import argparse
+import json
 
 import pytest
 
@@ -78,6 +86,137 @@ def test_scenario_replay(benchmark, loadgen_setup, name):
 
 
 # ---------------------------------------------------------------------------
+# --check: the autoscaled-vs-static acceptance gate
+# ---------------------------------------------------------------------------
+
+#: The scenarios the autoscaler must win: the rate sweep it exists to ride,
+#: and the chaos run it must not fall over in.
+CHECK_SCENARIOS = ("diurnal-ramp", "shard-failure")
+
+#: The p99 budget (ms) the fluid-simulator arms are held to — the same
+#: threshold the stock policy's p99-pressure rule and SLO rules use.
+CHECK_P99_MS = 250.0
+
+
+def run_check(smoke: bool, records: list) -> int:
+    """The autoscaler acceptance gate; returns a process exit code."""
+    from repro.autoscale import default_policy, simulate_autoscaler, static_policy
+    from repro.experiments.loadgen_cli import LoadgenConfig, run_loadgen
+
+    min_shards, max_shards = 2, 4
+    sim_requests = 160 if smoke else 512
+    failures = []
+
+    def check(ok, label):
+        status = "ok" if ok else "FAIL"
+        print(f"  {status}: {label}")
+        if not ok:
+            failures.append(label)
+
+    # 1. Determinism: same seed, same policy -> byte-identical payloads
+    #    (the decision log rides inside, so it is byte-identical too).
+    print("check: decision-log determinism (fluid simulator, seed 0 twice)")
+    runs = [
+        simulate_autoscaler(
+            "diurnal-ramp", requests=sim_requests, seed=0,
+            policy=default_policy(min_shards=min_shards, max_shards=max_shards),
+        )
+        for _ in range(2)
+    ]
+    blobs = [json.dumps(run, sort_keys=True) for run in runs]
+    check(blobs[0] == blobs[1], "two same-seed runs are byte-identical")
+    decision_lines = [
+        "\n".join(json.dumps(d, sort_keys=True) for d in run["decisions"])
+        for run in runs
+    ]
+    check(decision_lines[0] == decision_lines[1], "decision logs byte-identical")
+
+    # 2. Fluid-model comparison: both scenarios, autoscaled vs static-at-peak.
+    for name in CHECK_SCENARIOS:
+        print(f"check: {name} autoscaled vs static (fluid simulator)")
+        auto = simulate_autoscaler(
+            name, requests=sim_requests, seed=0,
+            policy=default_policy(min_shards=min_shards, max_shards=max_shards),
+        )
+        static = simulate_autoscaler(
+            name, requests=sim_requests, seed=0, policy=static_policy(max_shards)
+        )
+        check(auto["drained"], f"{name}: autoscaled arm drains its backlog")
+        check(
+            auto["peak_p99_ms"] <= CHECK_P99_MS,
+            f"{name}: autoscaled p99 proxy {auto['peak_p99_ms']:.1f}ms "
+            f"<= {CHECK_P99_MS:.0f}ms",
+        )
+        check(
+            auto["shard_seconds"] < static["shard_seconds"],
+            f"{name}: {auto['shard_seconds']:.3f} shard-seconds autoscaled "
+            f"< {static['shard_seconds']:.3f} static",
+        )
+        records.extend(
+            [
+                {"name": f"check_{name}_autoscaled_shard_seconds",
+                 "unit": "shard*s", "value": auto["shard_seconds"]},
+                {"name": f"check_{name}_static_shard_seconds",
+                 "unit": "shard*s", "value": static["shard_seconds"]},
+            ]
+        )
+
+    # 3. Live cross-check: the real cluster under real traffic.  The
+    #    autoscaled arm starts at the floor and earns capacity; the static
+    #    arm pays for the ceiling the whole run.  SLO held = zero hangs and
+    #    every request resolved (shard-failure fails its killed in-flight
+    #    requests cleanly by design — clean failures are in-SLO there).
+    time_scale = 2.0
+    for name in CHECK_SCENARIOS:
+        print(f"check: {name} autoscaled vs static (live cluster)")
+        auto_report, _ = run_loadgen(
+            LoadgenConfig(
+                scenario=name, shards=min_shards, seed=0,
+                time_scale=time_scale, autoscale=True, max_shards=max_shards,
+            )
+        )
+        static_report, _ = run_loadgen(
+            LoadgenConfig(
+                scenario=name, shards=max_shards, seed=0,
+                time_scale=time_scale,
+            )
+        )
+        auto_ss = auto_report.autoscale_summary["shard_seconds"]
+        static_ss = max_shards * static_report.elapsed_s
+        for arm, report in (("autoscaled", auto_report), ("static", static_report)):
+            check(report.hung == 0, f"{name}/{arm}: zero hung futures")
+            resolved = report.completed + report.rejected + report.failed
+            check(
+                resolved == report.requests,
+                f"{name}/{arm}: all {report.requests} requests resolved",
+            )
+        if name == "diurnal-ramp":
+            check(auto_report.failed == 0, f"{name}/autoscaled: zero failures")
+        check(
+            auto_ss < static_ss,
+            f"{name}: {auto_ss:.3f} live shard-seconds autoscaled "
+            f"< {static_ss:.3f} static",
+        )
+        records.extend(
+            [
+                {"name": f"check_{name}_live_autoscaled_shard_seconds",
+                 "unit": "shard*s", "value": auto_ss},
+                {"name": f"check_{name}_live_static_shard_seconds",
+                 "unit": "shard*s", "value": static_ss},
+            ]
+        )
+
+    if failures:
+        print(f"FAIL: {len(failures)} autoscale check(s) failed")
+        for label in failures:
+            print(f"  - {label}")
+        return 1
+    print("ok: autoscaler holds SLO on strictly fewer shard-seconds, "
+          "decision logs deterministic")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Script mode: the CI smoke run and the tracked JSON records
 # ---------------------------------------------------------------------------
 
@@ -93,6 +232,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke", action="store_true",
         help="small fleet and short scenarios (fast CI sanity run)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="run the autoscaler acceptance gate: SLO held on strictly "
+        "fewer shard-seconds than a static fleet, deterministic decision "
+        "logs (nonzero exit on failure)",
     )
     parser.add_argument(
         "--json", metavar="PATH",
@@ -152,6 +297,10 @@ def main(argv=None) -> int:
     finally:
         cluster.shutdown()
 
+    check_rc = 0
+    if args.check:
+        check_rc = run_check(args.smoke, records)
+
     if args.json:
         write_records(
             args.json,
@@ -163,11 +312,12 @@ def main(argv=None) -> int:
                 "cache_capacity": capacity,
                 "backend": "fast",
                 "smoke": args.smoke,
+                "check": args.check,
             },
             records,
         )
     print("ok: every scenario completed with zero hung futures")
-    return 0
+    return check_rc
 
 
 if __name__ == "__main__":

@@ -13,10 +13,12 @@ Package layout
 * :mod:`repro.errors` — the serving error taxonomy (stable ``ApiError`` codes).
 * :mod:`repro.gateway` — Serving API v2: one versioned gateway (middleware,
   typed clients, loopback/HTTP transports) over every serving backend.
+* :mod:`repro.autoscale` — closed-loop autoscaling over the cluster's scaling
+  seams, plus federated multi-cluster serving with tenant affinity.
 * :mod:`repro.experiments` — one runner per paper figure/table.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from . import nn
 from . import data
@@ -27,6 +29,7 @@ from . import hw
 from . import errors
 from . import serve
 from . import gateway
+from . import autoscale
 from . import experiments
 
 __all__ = [
@@ -39,6 +42,7 @@ __all__ = [
     "errors",
     "serve",
     "gateway",
+    "autoscale",
     "experiments",
     "__version__",
 ]

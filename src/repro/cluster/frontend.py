@@ -172,6 +172,14 @@ class ClusterService:
         # failures and starve the burn-rate alert of its signal.
         self._frontend_failed = 0
         self._frontend_failed_lock = threading.Lock()
+        # All scaling mutations (add/remove/kill) serialize behind this one
+        # lock.  Without it a remove_shard's ring-removal + graceful drain
+        # can interleave with a concurrent add_shard's ring-insert and the
+        # router/worker tables disagree mid-flight; with it each mutation —
+        # including the drain a graceful remove performs — is atomic with
+        # respect to the others.  Reentrant so a locked caller may compose
+        # mutations.
+        self._scale_lock = threading.RLock()
         for _ in range(self.cluster.shards):
             self._add_worker()
         if start:
@@ -189,6 +197,10 @@ class ClusterService:
 
     # -- shard membership -------------------------------------------------------
     def _add_worker(self) -> int:
+        with self._scale_lock:
+            return self._add_worker_locked()
+
+    def _add_worker_locked(self) -> int:
         shard_id = self._next_shard_id
         self._next_shard_id += 1
         if self._store is not None:
@@ -231,18 +243,25 @@ class ClusterService:
         return self._add_worker()
 
     def remove_shard(self, shard_id: int) -> None:
-        """Scale in: reroute the shard's tenants, drain it, stop its thread."""
+        """Scale in: reroute the shard's tenants, drain it, stop its thread.
+
+        Holds the scale lock across the whole sequence — ring removal *and*
+        the graceful drain — so a concurrent ``add_shard`` (an autoscaler
+        scaling out while a chaos heal drains a corpse) waits for the drain
+        instead of racing the router ring.
+        """
         self._ensure_open()
-        if shard_id not in self._workers:
-            raise KeyError(f"unknown shard id {shard_id!r}")
-        if len(self._workers) == 1:
-            raise ValueError("cannot remove the last shard")
-        # Order matters: take the shard off the ring first so no new traffic
-        # lands on it, then drain what it already owns.
-        self.router.remove_shard(shard_id)
-        worker = self._workers.pop(shard_id)
-        emit("shard_drain", shard=shard_id, shards=len(self._workers))
-        worker.stop(drain=True)
+        with self._scale_lock:
+            if shard_id not in self._workers:
+                raise KeyError(f"unknown shard id {shard_id!r}")
+            if len(self._workers) == 1:
+                raise ValueError("cannot remove the last shard")
+            # Order matters: take the shard off the ring first so no new
+            # traffic lands on it, then drain what it already owns.
+            self.router.remove_shard(shard_id)
+            worker = self._workers.pop(shard_id)
+            emit("shard_drain", shard=shard_id, shards=len(self._workers))
+            worker.stop(drain=True)
 
     def kill_shard(self, shard_id: int) -> None:
         """Chaos operation: crash one shard abruptly (no drain, no reroute).
@@ -255,10 +274,11 @@ class ClusterService:
         entry point :class:`repro.loadgen.FaultInjector` drives.
         """
         self._ensure_open()
-        if shard_id not in self._workers:
-            raise KeyError(f"unknown shard id {shard_id!r}")
-        self._workers[shard_id].kill()
-        emit("shard_kill", shard=shard_id)
+        with self._scale_lock:
+            if shard_id not in self._workers:
+                raise KeyError(f"unknown shard id {shard_id!r}")
+            self._workers[shard_id].kill()
+            emit("shard_kill", shard=shard_id)
 
     @property
     def shards(self) -> int:

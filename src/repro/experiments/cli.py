@@ -20,6 +20,9 @@ Installed as the ``repro-experiments`` console script; also runnable as
         --transport http --json               # replay over a real HTTP socket
     python -m repro.experiments loadgen --scenario shard-failure --shards 2 \
         --monitor --metrics-json metrics.json --events-jsonl events.jsonl
+    python -m repro.experiments loadgen --scenario diurnal-ramp --shards 2 \
+        --autoscale --max-shards 4 --measure \
+        --decisions-jsonl decisions.jsonl     # closed-loop autoscaled replay
     python -m repro.experiments monitor --scenario shard-failure --shards 2 \
         --watch                               # stream chaos events + alerts
     python -m repro.experiments monitor --url http://127.0.0.1:8080 \
@@ -235,6 +238,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="record per-request hop spans (gateway/middleware/frontend/"
         "shard/engine) into the SLO report; forces a gateway transport",
     )
+    loadgen_group.add_argument(
+        "--autoscale", action="store_true",
+        help="close the control loop: attach an Autoscaler to the telemetry "
+        "poller (implies --monitor); --shards is the floor, --max-shards "
+        "the ceiling; the report gains an autoscale line and --measure "
+        "JSON a slo.autoscale block",
+    )
+    loadgen_group.add_argument(
+        "--max-shards", type=int, default=None, metavar="N",
+        help="autoscale shard ceiling (default: shards * 4)",
+    )
+    loadgen_group.add_argument(
+        "--decisions-jsonl", metavar="PATH",
+        help="write the autoscaled run's decision log to PATH, one JSON "
+        "object per line (requires --autoscale)",
+    )
     monitor_group = parser.add_argument_group("monitor / metrics options")
     monitor_group.add_argument(
         "--monitor", action="store_true",
@@ -371,6 +390,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 monitor=bool(
                     args.monitor or args.metrics_json or args.events_jsonl
                 ),
+                autoscale=bool(args.autoscale or args.decisions_jsonl),
+                max_shards=args.max_shards,
                 poll_interval_s=args.poll_interval,
                 alert_p99_ms=args.alert_p99_ms,
                 alert_burn_rate=args.alert_burn_rate,
@@ -433,6 +454,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 measure=args.measure,
                 metrics_json=args.metrics_json,
                 events_jsonl=args.events_jsonl,
+                decisions_jsonl=args.decisions_jsonl,
             )
         elif name == "monitor":
             if args.json != "-":

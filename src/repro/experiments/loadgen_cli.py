@@ -84,6 +84,8 @@ class LoadgenConfig:
     smoke: bool = False
     trace: bool = False  #: record per-request hop spans into the SLO report
     monitor: bool = False  #: attach TelemetryPoller + EventLog + SLOMonitor
+    autoscale: bool = False  #: close the loop: Autoscaler on the poller (implies monitor)
+    max_shards: Optional[int] = None  #: autoscale ceiling (default: shards * 4)
     poll_interval_s: float = 0.05  #: metrics sampling interval (monitor runs)
     alert_p99_ms: float = 250.0  #: p99-over-threshold rule (monitor runs)
     alert_burn_rate: float = 0.05  #: rejection-burn-rate rule (monitor runs)
@@ -117,6 +119,16 @@ class LoadgenConfig:
             )
         if self.smoke and self.requests is None:
             self.requests = SMOKE_REQUESTS
+        if self.autoscale:
+            # The control loop rides the telemetry plane: no poller, no loop.
+            self.monitor = True
+            if self.max_shards is None:
+                self.max_shards = self.shards * 4
+        if self.max_shards is not None and self.max_shards < self.shards:
+            raise ValueError(
+                f"max_shards must be >= shards, got "
+                f"{self.max_shards} < {self.shards}"
+            )
         # A one-shard fleet has nothing to fail over to: shard-kill chaos
         # needs at least two shards to demonstrate heal/reroute.
         faults = SCENARIOS[self.scenario]().faults
@@ -189,7 +201,7 @@ def run_loadgen(config: LoadgenConfig) -> Tuple[SLOReport, Dict[str, object]]:
         _trace.reset_aggregator()
     with _trace.tracing(config.trace) if config.trace else _nullcontext():
         with ClusterService(cluster_config, registry=registry) as cluster:
-            poller = previous_log = None
+            poller = previous_log = scaler = None
             if config.monitor:
                 # The continuous observability plane, attached for the run:
                 # lifecycle events into a fresh process-wide log, the
@@ -213,7 +225,24 @@ def run_loadgen(config: LoadgenConfig) -> Tuple[SLOReport, Dict[str, object]]:
                     monitor.registry,
                     interval_s=config.poll_interval_s,
                     monitor=monitor,
-                ).start()
+                )
+                if config.autoscale:
+                    # Close the loop before the first sample: the Autoscaler
+                    # ticks on every poll (rule path) and on every alert
+                    # transition (SLOMonitor hand-off), actuating the live
+                    # cluster's add_shard / graceful remove_shard.
+                    from ..autoscale import Autoscaler, default_policy
+
+                    scaler = Autoscaler(
+                        cluster,
+                        default_policy(
+                            min_shards=config.shards,
+                            max_shards=config.max_shards,
+                        ),
+                    )
+                    scaler.attach(poller)
+                    scaler.wire(monitor)
+                poller.start()
             try:
                 if config.transport == "direct":
                     report = LoadDriver(cluster, driver_config).run(workload)
@@ -252,6 +281,14 @@ def run_loadgen(config: LoadgenConfig) -> Tuple[SLOReport, Dict[str, object]]:
                     "events": [event.to_dict() for event in events.events()],
                     "monitor": monitor.to_dict(),
                 }
+            if scaler is not None:
+                # Snapshot the control loop while the cluster is still open:
+                # decisions, fleet history and the shard-seconds integral the
+                # autoscaled-vs-static comparison scores on.
+                report.autoscale_summary = {
+                    **scaler.to_dict(),
+                    "shard_seconds": round(scaler.shard_seconds(), 6),
+                }
     return report, report.to_dict(timing=False)
 
 
@@ -261,13 +298,16 @@ def print_loadgen(
     measure: bool = False,
     metrics_json: Optional[str] = None,
     events_jsonl: Optional[str] = None,
+    decisions_jsonl: Optional[str] = None,
 ) -> SLOReport:
     """Run, print the human report, and optionally emit/persist JSON.
 
     ``json_target``: ``None`` (no JSON), ``"-"`` (stdout), or a path.
     With ``measure`` the JSON gains the wall-clock ``slo`` block.
     ``metrics_json`` / ``events_jsonl`` persist a monitored run's full
-    time-series dump and event log (they imply ``--monitor`` upstream).
+    time-series dump and event log (they imply ``--monitor`` upstream);
+    ``decisions_jsonl`` persists an autoscaled run's decision log, one
+    sorted-keys JSON line per verdict.
     """
     report, payload = run_loadgen(config)
     if measure:
@@ -298,4 +338,11 @@ def print_loadgen(
                 fh.write(json.dumps(event, sort_keys=True) + "\n")
         if json_target != "-":
             print(f"wrote {events_jsonl}")
+    summary = getattr(report, "autoscale_summary", None)
+    if decisions_jsonl is not None and summary is not None:
+        with open(decisions_jsonl, "w") as fh:
+            for decision in summary["decisions"]:
+                fh.write(json.dumps(decision, sort_keys=True) + "\n")
+        if json_target != "-":
+            print(f"wrote {decisions_jsonl}")
     return report

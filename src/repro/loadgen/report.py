@@ -75,6 +75,9 @@ class SLOReport:
         #: Time-series + alert summary from an attached TelemetryPoller run
         #: (``loadgen --monitor``); ``None`` keeps the pre-metrics shape.
         self.metrics_summary: Optional[Dict[str, object]] = None
+        #: Control-loop summary from an attached Autoscaler run
+        #: (``loadgen --autoscale``): decisions, fleet history, shard-seconds.
+        self.autoscale_summary: Optional[Dict[str, object]] = None
         self._predictions = hashlib.sha256()
         self._prediction_count = 0
 
@@ -238,6 +241,8 @@ class SLOReport:
                 slo["trace"] = trace
             if self.metrics_summary is not None:
                 slo["metrics"] = self.metrics_summary
+            if self.autoscale_summary is not None:
+                slo["autoscale"] = self.autoscale_summary
             if self.cluster_stats is not None:
                 observed = self.observed_per_shard()
                 slo["cluster"] = {
@@ -292,6 +297,15 @@ class SLOReport:
                 f"{self.metrics_summary.get('events', 0)} events, "
                 f"{len(fired)} alert(s) fired"
                 + (f" ({', '.join(names)})" if names else "")
+            )
+        if self.autoscale_summary is not None:
+            actions = self.autoscale_summary.get("actions", {})
+            lines.append(
+                f"  autoscale: {self.autoscale_summary.get('ticks', 0)} ticks, "
+                f"{actions.get('scale_out', 0)} out / {actions.get('scale_in', 0)} in / "
+                f"{actions.get('suppress', 0)} suppressed / {actions.get('clamp', 0)} clamped, "
+                f"peak {self.autoscale_summary.get('peak_shards', self.shards)} shard(s), "
+                f"{self.autoscale_summary.get('shard_seconds', 0.0):.3f} shard-seconds"
             )
         for event in self.fault_log:
             lines.append(f"  fault:    request {event['at_request']}: {event['summary']}")

@@ -52,6 +52,8 @@ EVENT_KINDS = (
     "retry",
     "fault",
     "alert",
+    "autoscale",   # one Autoscaler decision (scale_out/scale_in/suppress/clamp)
+    "spillover",   # a federated request served off its home cluster
 )
 
 

@@ -172,6 +172,19 @@ class TelemetryPoller:
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._sample_lock = threading.Lock()
+        self._subscribers: list = []
+
+    def subscribe(self, callback) -> None:
+        """Observe every sample as ``callback(stats, t)`` after rule evaluation.
+
+        This is the seam a control loop consumes: the
+        :class:`~repro.autoscale.Autoscaler` subscribes its ``observe`` here
+        so every poll becomes one controller tick.  Callbacks run outside the
+        sample lock (they may take arbitrarily long — a scale-in drains a
+        shard) and a callback failure is counted in ``poll_errors`` instead
+        of killing the poll loop.
+        """
+        self._subscribers.append(callback)
 
     def sample(self, now: Optional[float] = None) -> Optional[Dict[str, object]]:
         """Take one sample (and evaluate alert rules); returns the raw stats.
@@ -192,6 +205,11 @@ class TelemetryPoller:
             self.samples += 1
             if self.monitor is not None:
                 self.monitor.evaluate(now=t)
+        for callback in list(self._subscribers):
+            try:
+                callback(stats, t)
+            except Exception:
+                self.poll_errors += 1
         return stats
 
     @property

@@ -11,7 +11,11 @@ Three presets ship with the CLI (``repro pipeline --list-steps``):
   memoization layer;
 * ``loadgen-sweep`` — one deterministic loadgen scenario per step plus a
   collect step pinning each scenario's outcome counts and predictions
-  digest.
+  digest;
+* ``autoscale-compare`` — the autoscaled-vs-static evaluation as a DAG:
+  pin a scenario plan, replay it through the deterministic fluid simulator
+  under the stock autoscaling policy and under a static fleet pinned at the
+  same peak capacity, then score shard-seconds saved at (proxy) equal SLO.
 
 Every preset accepts ``smoke=True``, which shrinks it to seconds for CI.
 """
@@ -272,6 +276,125 @@ def _loadgen_sweep_steps(smoke: bool = False) -> List[Step]:
 
 
 # ---------------------------------------------------------------------------
+# autoscale-compare: autoscaled vs static replay of one scenario
+# ---------------------------------------------------------------------------
+
+def autoscale_scenario(ctx: StepContext) -> Dict[str, object]:
+    """Pin the scenario plan both arms replay (content-addresses the inputs)."""
+    from ..loadgen import build_scenario
+
+    p = ctx.params
+    scenario = build_scenario(p["scenario"], requests=int(p["requests"]))
+    return {
+        "scenario": scenario.to_dict(),
+        "seed": int(p["seed"]),
+        "tick_s": float(p["tick_s"]),
+        "service_rate": float(p["service_rate"]),
+    }
+
+
+def autoscale_replay(ctx: StepContext) -> Dict[str, object]:
+    """Replay the pinned scenario through the fluid model under one policy.
+
+    ``params["policy"]`` picks the arm: ``"autoscaled"`` runs the stock
+    rules between the step's min/max clamps, ``"static"`` pins the fleet at
+    ``max_shards`` — the capacity a fixed deployment must provision for the
+    same peak.  Both arms are pure functions of the pinned plan, so the
+    cache key IS the determinism contract: re-running cannot change bytes.
+    """
+    from ..autoscale import default_policy, simulate_autoscaler, static_policy
+
+    p = ctx.params
+    plan = ctx.inputs[ctx.step.deps[0]]
+    if p["policy"] == "static":
+        policy = static_policy(int(p["max_shards"]))
+    else:
+        policy = default_policy(
+            min_shards=int(p["min_shards"]), max_shards=int(p["max_shards"])
+        )
+    return simulate_autoscaler(
+        scenario=plan["scenario"]["name"],
+        requests=plan["scenario"]["requests"],
+        seed=plan["seed"],
+        policy=policy,
+        tick_s=plan["tick_s"],
+        service_rate=plan["service_rate"],
+    )
+
+
+def autoscale_compare(ctx: StepContext) -> Dict[str, object]:
+    """Score the two arms: shard-seconds saved at (proxy) equal SLO."""
+    auto = ctx.inputs["autoscaled"]
+    static = ctx.inputs["static"]
+    saved = static["shard_seconds"] - auto["shard_seconds"]
+    ratio = saved / static["shard_seconds"] if static["shard_seconds"] else 0.0
+    return {
+        "scenario": auto["scenario"],
+        "autoscaled": {
+            "shard_seconds": auto["shard_seconds"],
+            "peak_shards": auto["peak_shards"],
+            "peak_p99_ms": auto["peak_p99_ms"],
+            "actions": auto["actions"],
+            "drained": auto["drained"],
+        },
+        "static": {
+            "shard_seconds": static["shard_seconds"],
+            "peak_shards": static["peak_shards"],
+            "peak_p99_ms": static["peak_p99_ms"],
+            "drained": static["drained"],
+        },
+        "shard_seconds_saved": _round6(saved),
+        "savings_ratio": _round6(ratio),
+        "autoscaler_wins": bool(
+            auto["drained"]
+            and static["drained"]
+            and auto["shard_seconds"] < static["shard_seconds"]
+        ),
+    }
+
+
+def _autoscale_compare_steps(smoke: bool = False) -> List[Step]:
+    requests = 160 if smoke else 512
+    tick_s = 0.02 if smoke else 0.01
+    min_shards, max_shards = 2, 6
+    scenario_step = Step(
+        "scenario",
+        autoscale_scenario,
+        params={
+            "scenario": "diurnal-ramp",
+            "requests": requests,
+            "seed": 0,
+            "tick_s": tick_s,
+            "service_rate": 400.0,
+        },
+    )
+    return [
+        scenario_step,
+        Step(
+            "autoscaled",
+            autoscale_replay,
+            params={
+                "policy": "autoscaled",
+                "min_shards": min_shards,
+                "max_shards": max_shards,
+            },
+            deps=("scenario",),
+        ),
+        Step(
+            "static",
+            autoscale_replay,
+            params={"policy": "static", "max_shards": max_shards},
+            deps=("scenario",),
+        ),
+        Step(
+            "compare",
+            autoscale_compare,
+            deps=("autoscaled", "static"),
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
 # the registry
 # ---------------------------------------------------------------------------
 
@@ -286,6 +409,7 @@ PIPELINES: Dict[str, Callable[..., List[Step]]] = {
     "standard": _standard_steps,
     "fig1": _fig1_steps,
     "loadgen-sweep": _loadgen_sweep_steps,
+    "autoscale-compare": _autoscale_compare_steps,
 }
 
 
