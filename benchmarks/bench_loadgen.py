@@ -217,6 +217,118 @@ def run_check(smoke: bool, records: list) -> int:
 
 
 # ---------------------------------------------------------------------------
+# --lifecycle: the drift-recovery section and its acceptance gate
+# ---------------------------------------------------------------------------
+
+def run_lifecycle_section(smoke: bool, records: list) -> dict:
+    """Static vs lifecycle-managed replay of the drift-step workload."""
+    from repro.lifecycle import run_lifecycle_compare
+
+    requests = 128 if smoke else 192
+    result = run_lifecycle_compare(scenario="drift-step", requests=requests, seed=0)
+    cmp_block = result["compare"]
+    managed = result["managed"]
+    print(
+        f"lifecycle: drift-step, {requests} requests over "
+        f"{result['tenants']} tenants (virtually-clocked replay)"
+    )
+    print(
+        f"{'arm':>10} | {'first win':>9} | {'final win':>9} | "
+        f"{'promoted':>8} | {'rolled back':>11}"
+    )
+    for arm in ("static", "managed"):
+        acc = result[arm]["accuracy"]
+        mgr = result[arm]["manager"]
+        print(
+            f"{arm:>10} | {acc['first_window']:9.3f} | {acc['final_window']:9.3f} | "
+            f"{mgr['promoted']:8d} | {mgr['rolled_back']:11d}"
+        )
+    records.extend(
+        [
+            {"name": "lifecycle_static_final_accuracy", "unit": "ratio",
+             "value": cmp_block["static_final_accuracy"]},
+            {"name": "lifecycle_managed_final_accuracy", "unit": "ratio",
+             "value": cmp_block["managed_final_accuracy"]},
+            {"name": "lifecycle_accuracy_delta", "unit": "ratio",
+             "value": cmp_block["accuracy_delta"]},
+            {"name": "lifecycle_promoted", "unit": "count",
+             "value": cmp_block["promoted"]},
+            {"name": "lifecycle_transitions", "unit": "count",
+             "value": managed["manager"]["transitions"]},
+        ]
+    )
+    return result
+
+
+def run_lifecycle_check(smoke: bool, records: list, result: dict) -> int:
+    """The lifecycle acceptance gate; returns a process exit code.
+
+    The managed arm must *recover* served-head accuracy after the drift
+    step (static stays on the floor), the audit must show full
+    DRIFTING → PROMOTED cycles, the SLO must hold, and two same-seed
+    managed replays must be byte-identical (audit + decision logs ride
+    inside the payload, so they are too).
+    """
+    from repro.lifecycle import run_lifecycle_replay
+
+    requests = 128 if smoke else 192
+    failures = []
+
+    def check(ok, label):
+        status = "ok" if ok else "FAIL"
+        print(f"  {status}: {label}")
+        if not ok:
+            failures.append(label)
+
+    cmp_block = result["compare"]
+    managed = result["managed"]
+    print("check: lifecycle recovers accuracy after drift (drift-step, seed 0)")
+    check(
+        cmp_block["lifecycle_wins"],
+        f"managed final accuracy {cmp_block['managed_final_accuracy']:.3f} "
+        f"beats static {cmp_block['static_final_accuracy']:.3f} with SLO held",
+    )
+    check(
+        cmp_block["managed_final_accuracy"] >= 0.75,
+        f"managed arm recovers to >= 0.75 "
+        f"(got {cmp_block['managed_final_accuracy']:.3f})",
+    )
+    check(cmp_block["promoted"] >= 1, "at least one canary promoted")
+    states = {t["to_state"] for t in managed["audit"]}
+    check(
+        {"DRIFTING", "REPRUNING", "CANARYING", "PROMOTED"} <= states,
+        f"audit shows the full DRIFTING -> PROMOTED path (saw {sorted(states)})",
+    )
+
+    print("check: replay determinism (managed arm, seed 0 twice)")
+    runs = [
+        run_lifecycle_replay(
+            scenario="drift-step", requests=requests, seed=0, lifecycle=True
+        )
+        for _ in range(2)
+    ]
+    blobs = [json.dumps(run, sort_keys=True) for run in runs]
+    check(blobs[0] == blobs[1], "two same-seed managed replays are byte-identical")
+    check(
+        runs[0]["audit_jsonl"] == runs[1]["audit_jsonl"],
+        "audit logs byte-identical",
+    )
+    check(
+        runs[0]["decisions_jsonl"] == runs[1]["decisions_jsonl"],
+        "rollout decision logs byte-identical",
+    )
+
+    if failures:
+        print(f"FAIL: {len(failures)} lifecycle check(s) failed")
+        for label in failures:
+            print(f"  - {label}")
+        return 1
+    print("ok: lifecycle recovers served-head accuracy after drift, "
+          "audit and decision logs deterministic")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Script mode: the CI smoke run and the tracked JSON records
 # ---------------------------------------------------------------------------
 
@@ -237,7 +349,14 @@ def main(argv=None) -> int:
         "--check", action="store_true",
         help="run the autoscaler acceptance gate: SLO held on strictly "
         "fewer shard-seconds than a static fleet, deterministic decision "
-        "logs (nonzero exit on failure)",
+        "logs (nonzero exit on failure); with --lifecycle, runs the "
+        "lifecycle gate instead",
+    )
+    parser.add_argument(
+        "--lifecycle", action="store_true",
+        help="add the tenant-lifecycle section: static vs managed replay "
+        "of the drift-step workload; --check then gates on drift recovery "
+        "instead of autoscaling",
     )
     parser.add_argument(
         "--json", metavar="PATH",
@@ -298,7 +417,11 @@ def main(argv=None) -> int:
         cluster.shutdown()
 
     check_rc = 0
-    if args.check:
+    if args.lifecycle:
+        lifecycle_result = run_lifecycle_section(args.smoke, records)
+        if args.check:
+            check_rc = run_lifecycle_check(args.smoke, records, lifecycle_result)
+    elif args.check:
         check_rc = run_check(args.smoke, records)
 
     if args.json:
@@ -313,6 +436,7 @@ def main(argv=None) -> int:
                 "backend": "fast",
                 "smoke": args.smoke,
                 "check": args.check,
+                "lifecycle": args.lifecycle,
             },
             records,
         )

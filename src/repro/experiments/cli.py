@@ -53,6 +53,7 @@ from .fig4_metadata import aggregate_overheads, run_fig4
 from .fig7_class_sweep import run_fig7
 from .fig8_hardware import aggregate_fig8, run_fig8
 from .headline import run_headline
+from .lifecycle_cli import LifecycleCliConfig, print_lifecycle
 from .loadgen_cli import SMOKE_REQUESTS as LOADGEN_SMOKE_REQUESTS
 from .loadgen_cli import LoadgenConfig, print_loadgen
 from .monitor_cli import MonitorConfig, print_monitor
@@ -99,10 +100,12 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 }
 
 #: Every runnable command: the figure experiments plus the serving demo, the
-#: scenario load generator, the metrics-plane monitor, and the experiment
-#: pipeline runner (all need CLI flags, so they are dispatched outside the
-#: EXPERIMENTS map).
-ALL_COMMANDS = sorted([*EXPERIMENTS, "serve", "loadgen", "monitor", "pipeline"])
+#: scenario load generator, the metrics-plane monitor, the experiment
+#: pipeline runner, and the tenant-lifecycle replay (all need CLI flags, so
+#: they are dispatched outside the EXPERIMENTS map).
+ALL_COMMANDS = sorted(
+    [*EXPERIMENTS, "serve", "loadgen", "monitor", "pipeline", "lifecycle"]
+)
 
 
 def _write_stats_json(path: str, report: Dict) -> None:
@@ -301,6 +304,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="monitor: stream lifecycle events live (in-process mode) or "
         "redraw the dashboard per scrape (--url mode)",
     )
+    lifecycle_group = parser.add_argument_group("lifecycle options")
+    lifecycle_group.add_argument(
+        "--managed-only", action="store_true",
+        help="lifecycle: replay only the managed arm instead of the "
+        "static-vs-managed compare",
+    )
+    lifecycle_group.add_argument(
+        "--audit-jsonl", metavar="PATH",
+        help="lifecycle: write the managed arm's state-machine audit log to "
+        "PATH, one JSON transition per line (byte-stable per seed)",
+    )
     pipeline_group = parser.add_argument_group("pipeline options")
     pipeline_group.add_argument(
         "--pipeline", default="standard", metavar="NAME",
@@ -425,6 +439,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         except ValueError as exc:
             parser.error(str(exc))
 
+    if "lifecycle" in requested:
+        try:
+            lifecycle_config = LifecycleCliConfig(
+                scenario=args.scenario if args.scenario != "steady-uniform"
+                else "drift-step",
+                tenants=args.loadgen_tenants if args.loadgen_tenants != 8 else 4,
+                requests=args.loadgen_requests,
+                seed=args.seed,
+                compare=not args.managed_only,
+                smoke=args.smoke,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+
     if "pipeline" in requested:
         try:
             pipeline_config = PipelineCliConfig(
@@ -460,6 +488,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.json != "-":
                 print("\n===== monitor =====")
             print_monitor(monitor_config, json_target=args.metrics_json or args.json)
+        elif name == "lifecycle":
+            if args.json != "-":
+                print("\n===== lifecycle =====")
+            print_lifecycle(
+                lifecycle_config,
+                json_target=args.json,
+                audit_jsonl=args.audit_jsonl,
+                decisions_jsonl=args.decisions_jsonl,
+            )
         elif name == "pipeline":
             print("\n===== pipeline =====")
             print_pipeline(pipeline_config)

@@ -1,0 +1,156 @@
+"""CLI ``lifecycle``: drift-detect → re-prune → canary a drifting fleet.
+
+The experiments CLI's window into :mod:`repro.lifecycle`: replay a named
+class-drift scenario through the virtually-clocked lifecycle harness, in
+one arm (``--static`` disables the control loop) or both
+(``--lifecycle-compare``), and print what the state machine did.
+
+Everything the command emits is deterministic: the replay is a pure
+function of (scenario, tenants, requests, seed, policy), so ``--json``
+payloads, ``--audit-jsonl`` transition logs and ``--decisions-jsonl``
+rollout decision logs are byte-identical across same-seed runs — CI diffs
+two runs to enforce it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..lifecycle import run_lifecycle_compare, run_lifecycle_replay
+from ..loadgen import SCENARIOS, build_scenario
+from ..loadgen.popularity import ClassDriftPopularity
+
+__all__ = ["LifecycleCliConfig", "run_lifecycle_cli", "print_lifecycle"]
+
+#: --smoke shrinks the replay to this many requests.
+SMOKE_REQUESTS = 128
+
+
+def _drift_scenarios() -> list:
+    names = []
+    for name in sorted(SCENARIOS):
+        if isinstance(SCENARIOS[name]().popularity, ClassDriftPopularity):
+            names.append(name)
+    return names
+
+
+@dataclass
+class LifecycleCliConfig:
+    """Knobs of one CLI lifecycle run."""
+
+    scenario: str = "drift-step"
+    tenants: int = 4
+    requests: Optional[int] = None  #: None -> the harness default (192)
+    seed: int = 0
+    compare: bool = True  #: run both arms; False replays the managed arm only
+    smoke: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; available: {sorted(SCENARIOS)}"
+            )
+        if not isinstance(SCENARIOS[self.scenario]().popularity, ClassDriftPopularity):
+            raise ValueError(
+                f"scenario {self.scenario!r} has no class-drift schedule; "
+                f"drift scenarios: {_drift_scenarios()}"
+            )
+        if self.tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {self.tenants}")
+        if self.requests is not None and self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.smoke and self.requests is None:
+            self.requests = SMOKE_REQUESTS
+
+
+def run_lifecycle_cli(config: LifecycleCliConfig) -> Dict[str, object]:
+    """Run the configured replay; returns the JSON-stable payload."""
+    kwargs = dict(
+        scenario=config.scenario,
+        tenants=config.tenants,
+        seed=config.seed,
+    )
+    if config.requests is not None:
+        kwargs["requests"] = config.requests
+    if config.compare:
+        return run_lifecycle_compare(**kwargs)
+    return run_lifecycle_replay(lifecycle=True, **kwargs)
+
+
+def _managed_arm(payload: Dict[str, object]) -> Dict[str, object]:
+    return payload["managed"] if "managed" in payload else payload
+
+
+def _dump(path: str, text: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(text)
+        if text and not text.endswith("\n"):
+            fh.write("\n")
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def print_lifecycle(
+    config: LifecycleCliConfig,
+    json_target: Optional[str] = None,
+    audit_jsonl: Optional[str] = None,
+    decisions_jsonl: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run + report one lifecycle replay; optionally dump the artifacts.
+
+    ``json_target`` of ``"-"`` streams the full payload to stdout (no
+    banner — the output stays a clean, diffable JSON document).
+    """
+    payload = run_lifecycle_cli(config)
+    managed = _managed_arm(payload)
+
+    if audit_jsonl:
+        _dump(audit_jsonl, managed["audit_jsonl"])
+    if decisions_jsonl:
+        _dump(decisions_jsonl, managed["decisions_jsonl"])
+
+    if json_target == "-":
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return payload
+    if json_target:
+        with open(json_target, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {json_target}", file=sys.stderr)
+
+    scenario = build_scenario(config.scenario)
+    print(f"scenario: {config.scenario} ({scenario.description})")
+    print(
+        f"tenants={managed['tenants']} requests={managed['requests']} "
+        f"seed={managed['seed']}"
+    )
+    mgr = managed["manager"]
+    print(
+        f"lifecycle: cycles={mgr['cycles']} promoted={mgr['promoted']} "
+        f"rolled_back={mgr['rolled_back']} transitions={mgr['transitions']}"
+    )
+    acc = managed["accuracy"]
+    print(
+        f"accuracy: first_window={acc['first_window']} "
+        f"final_window={acc['final_window']} overall={acc['overall']}"
+    )
+    if "compare" in payload:
+        cmp_block = payload["compare"]
+        print(
+            f"compare: static={cmp_block['static_final_accuracy']} "
+            f"managed={cmp_block['managed_final_accuracy']} "
+            f"delta={cmp_block['accuracy_delta']} "
+            f"slo_held={cmp_block['slo_held']} "
+            f"lifecycle_wins={cmp_block['lifecycle_wins']}"
+        )
+    print("audit:")
+    for record in managed["audit"]:
+        print(
+            f"  t={record['at']:.4f} {record['tenant']:>10} "
+            f"{record['from_state']:>11} -> {record['to_state']:<11} "
+            f"({record['reason']})"
+        )
+    return payload

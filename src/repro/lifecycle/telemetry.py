@@ -1,0 +1,187 @@
+"""Per-tenant served-head telemetry: the lifecycle plane's measurement side.
+
+:class:`AccuracyTracker` scores every served prediction against the
+workload's true-class label: a *hit* is a label inside the served version's
+class head (the ``classes`` list in its registry metadata).  Hits are kept
+in bounded per-(tenant, arm) windows — ``stable`` for the incumbent
+version, ``canary`` for the one under rollout — so a canary is judged on
+its own recent traffic, never on history the old version produced.
+
+The tracker also keeps a per-tenant window of the *labels themselves*:
+when drift is confirmed, :meth:`head_estimate` is the re-personalization
+target — the most frequent recently-requested classes, with deterministic
+(count desc, class asc) tie-breaking.
+
+:class:`LifecycleStatsSource` splices the tracker's rows into any unified
+stats schema as a ``tenants`` block, which :func:`repro.metrics.record_sample`
+maps to the ``tenant_accuracy{tenant}`` / ``tenant_staleness_s{tenant}``
+gauges — the series the stock ``accuracy_drop`` alert rule and the
+:class:`~repro.lifecycle.detector.DriftDetector` watch.  The schema treats
+its blocks as a floor, not a ceiling, so every existing consumer of the
+source's stats keeps working untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["AccuracyTracker", "LifecycleStatsSource"]
+
+
+class AccuracyTracker:
+    """Windowed served-head accuracy + recent-label histograms per tenant."""
+
+    def __init__(self, window: int = 32, label_window: Optional[int] = None) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        #: The label history runs longer than the accuracy window: accuracy
+        #: must react fast (small window), while the head estimate only
+        #: reads labels newest-first, so extra history can't go stale on it.
+        self.label_window = label_window if label_window is not None else 2 * window
+        self._hits: Dict[Tuple[str, str], Deque[bool]] = {}
+        self._labels: Dict[str, Deque[Tuple[int, bool]]] = {}
+        self._lock = threading.Lock()
+        self.observed = 0
+
+    def record(self, tenant: str, hit: bool, arm: str = "stable",
+               label: Optional[int] = None,
+               label_hit: Optional[bool] = None) -> None:
+        """Score one served request for ``tenant`` on serving arm ``arm``.
+
+        ``label_hit`` is the label's verdict against the tenant's *active*
+        head (defaults to ``hit``): during a split rollout the arm score is
+        the canary's, but drift-target estimation needs to know whether the
+        incumbent head covers the label.
+        """
+        with self._lock:
+            key = (tenant, arm)
+            if key not in self._hits:
+                self._hits[key] = deque(maxlen=self.window)
+            self._hits[key].append(bool(hit))
+            if label is not None:
+                if tenant not in self._labels:
+                    self._labels[tenant] = deque(maxlen=self.label_window)
+                covered = hit if label_hit is None else label_hit
+                self._labels[tenant].append((int(label), bool(covered)))
+            self.observed += 1
+
+    def accuracy(self, tenant: str, arm: str = "stable") -> Optional[float]:
+        """Window accuracy for (tenant, arm); ``None`` with no samples."""
+        with self._lock:
+            window = self._hits.get((tenant, arm))
+            if not window:
+                return None
+            return sum(window) / len(window)
+
+    def samples(self, tenant: str, arm: str = "stable") -> int:
+        with self._lock:
+            window = self._hits.get((tenant, arm))
+            return len(window) if window else 0
+
+    def reset_arm(self, tenant: str, arm: str) -> None:
+        """Drop an arm's window (a promoted canary starts a fresh score)."""
+        with self._lock:
+            self._hits.pop((tenant, arm), None)
+
+    def reset_tenant(self, tenant: str) -> None:
+        """Drop every window for ``tenant`` (post-promotion clean slate).
+
+        Labels go too: their covered-flags were computed against the head
+        that just got replaced, so they'd corrupt the next cycle's
+        miss-first target walk.
+        """
+        with self._lock:
+            for key in [k for k in self._hits if k[0] == tenant]:
+                self._hits.pop(key)
+            self._labels.pop(tenant, None)
+
+    def head_estimate(self, tenant: str, head_size: int) -> List[int]:
+        """The ``head_size`` most *recently distinct* labels, deterministically.
+
+        Recency-first: walk newest to oldest collecting distinct classes,
+        so older (possibly pre-drift) labels are consulted only if recent
+        traffic hasn't yet shown ``head_size`` distinct classes.  Pure
+        function of the label window.
+        """
+        with self._lock:
+            labels = [label for label, _ in self._labels.get(tenant, ())]
+        picked: List[int] = []
+        for label in reversed(labels):
+            if label not in picked:
+                picked.append(label)
+            if len(picked) >= head_size:
+                break
+        return sorted(picked)
+
+    def target_estimate(self, tenant: str, head_size: int) -> List[int]:
+        """The drift re-personalization target, or ``[]`` while evidence is thin.
+
+        The problem with any naive estimate at drift-detection time: the
+        label window still holds pre-drift traffic, and one stale class in
+        the target burns a whole canary cycle.  The hit flags separate the
+        phases — a label the *active* head doesn't cover (a miss) is
+        post-drift evidence by construction.  So, newest to oldest:
+
+        1. distinct **missed** classes — the new head's members the old one
+           lacks; a full ``head_size`` of them is the complete answer;
+        2. distinct **hit** classes observed *since* the oldest counted
+           miss — classes the old and new heads share (partial drift);
+        3. if still short: return ``[]`` (defer — the detector retries next
+           tick with fresher labels).  Sole exception: a *full* window of
+           nothing but misses means the new head really is smaller than the
+           old one — then the short target stands.  (Anything looser
+           mis-fires: a burst of 6 post-drift misses covers only 2 of 3 new
+           classes about a quarter of the time.)
+
+        Pure function of the label window, like everything here.
+        """
+        with self._lock:
+            pairs = list(self._labels.get(tenant, ()))
+        pairs.reverse()  # newest first
+        target: List[int] = []
+        oldest_miss = -1
+        for rank, (label, covered) in enumerate(pairs):
+            if not covered and label not in target:
+                target.append(label)
+                oldest_miss = rank
+                if len(target) >= head_size:
+                    return sorted(target)
+        for label, covered in pairs[:max(0, oldest_miss)]:
+            if covered and label not in target:
+                target.append(label)
+                if len(target) >= head_size:
+                    return sorted(target)
+        misses = sum(1 for _, covered in pairs if not covered)
+        if target and misses == len(pairs) == self.label_window:
+            return sorted(target)
+        return []
+
+    def tenants(self) -> List[str]:
+        with self._lock:
+            seen = {t for t, _ in self._hits} | set(self._labels)
+        return sorted(seen)
+
+
+class LifecycleStatsSource:
+    """Wrap a stats source, adding the per-tenant ``tenants`` block.
+
+    ``rows`` is a zero-argument callable returning the per-tenant rows
+    (typically :meth:`LifecycleManager.tenant_rows`); everything else in
+    the snapshot is the wrapped source's, untouched.
+    """
+
+    def __init__(self, base, rows: Callable[[], List[Dict[str, object]]]) -> None:
+        if not hasattr(base, "stats"):
+            raise TypeError(
+                f"stats source {type(base).__name__} has no stats() method"
+            )
+        self.base = base
+        self.rows = rows
+
+    def stats(self) -> Dict[str, object]:
+        stats = dict(self.base.stats())
+        stats["tenants"] = self.rows()
+        return stats

@@ -9,7 +9,7 @@ the runtime's behaviour under it:
 * :mod:`repro.loadgen.arrivals` — arrival processes (constant-rate,
   Poisson, bursty on/off, diurnal ramp, closed-loop);
 * :mod:`repro.loadgen.popularity` — tenant-popularity models (uniform,
-  Zipf-skewed, hot-set churn);
+  Zipf-skewed, hot-set churn, class drift);
 * :mod:`repro.loadgen.scenario` — named :class:`Scenario` presets composing
   the two, plus scheduled :class:`FaultEvent` chaos, synthesized into
   replayable :class:`Workload` plans;
@@ -58,6 +58,7 @@ from .faults import FaultInjector, PoisonedEngine, PoisonedEngineError
 from .fleet import FLEET_INPUT_SHAPE, synthetic_fleet
 from .popularity import (
     POPULARITIES,
+    ClassDriftPopularity,
     HotSetChurn,
     PopularityModel,
     UniformPopularity,
@@ -88,6 +89,7 @@ __all__ = [
     "UniformPopularity",
     "ZipfPopularity",
     "HotSetChurn",
+    "ClassDriftPopularity",
     "POPULARITIES",
     "make_popularity",
     "Scenario",

@@ -15,6 +15,10 @@ is what exposes placement and cache-capacity decisions:
 * :class:`HotSetChurn` — a small hot set takes most of the traffic and is
   periodically rotated, modelling trending tenants; every rotation is a
   cache-warmup cliff for whichever shards inherit the new hot set.
+* :class:`ClassDriftPopularity` — tenants stay uniform, but each tenant's
+  *hot class set* shifts mid-scenario on a seeded schedule.  A model pruned
+  to the phase-0 head keeps serving while the labels walk away from it —
+  the drift signal the lifecycle plane exists to catch.
 
 Determinism contract: ``sequence(n, tenants, rng)`` is a pure function of
 its arguments — same model, same fleet size, same seeded ``rng`` state →
@@ -24,7 +28,7 @@ the same tenant sequence, bit for bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Type
+from typing import Dict, List, Sequence, Type
 
 import numpy as np
 
@@ -33,6 +37,7 @@ __all__ = [
     "UniformPopularity",
     "ZipfPopularity",
     "HotSetChurn",
+    "ClassDriftPopularity",
     "POPULARITIES",
     "make_popularity",
 ]
@@ -125,9 +130,95 @@ class HotSetChurn(PopularityModel):
         return picks
 
 
+@dataclass
+class ClassDriftPopularity(PopularityModel):
+    """Uniform tenants whose *hot class sets* drift on a seeded schedule.
+
+    Every tenant owns a hot set of ``head_size`` classes out of
+    ``num_classes``; per-request labels are drawn from the addressed
+    tenant's *current* hot set.  Every ``shift_every`` requests the
+    scenario enters a new phase, and the tenants picked by
+    ``shift_fraction`` rotate their hot set one window along a per-tenant
+    seeded permutation — exactly the :class:`HotSetChurn` rotation, applied
+    to classes instead of tenants.
+
+    The class schedule is keyed by ``drift_seed`` (not the workload rng),
+    so :meth:`hot_classes` is a pure function of ``(tenant, phase)``: a
+    fleet builder can align each tenant's served head with its phase-0 hot
+    set, and a detector's ground truth is reconstructable after the fact.
+    """
+
+    num_classes: int = 6
+    head_size: int = 3
+    shift_every: int = 32
+    shift_fraction: float = 1.0
+    drift_seed: int = 0
+    kind = "class-drift"
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {self.num_classes}")
+        if not 1 <= self.head_size < self.num_classes:
+            raise ValueError(
+                f"head_size must be in [1, num_classes), got {self.head_size}"
+            )
+        if self.shift_every < 1:
+            raise ValueError(f"shift_every must be >= 1, got {self.shift_every}")
+        if not 0.0 < self.shift_fraction <= 1.0:
+            raise ValueError(
+                f"shift_fraction must be in (0, 1], got {self.shift_fraction}"
+            )
+
+    def sequence(self, n: int, tenants: int, rng: np.random.Generator) -> List[int]:
+        return rng.integers(0, tenants, size=n).tolist()
+
+    def _shifts_by(self, tenant: int, phase: int) -> int:
+        """How many times ``tenant``'s hot set has rotated by ``phase``."""
+        if self.shift_fraction >= 1.0:
+            return phase
+        # Staggered rolling drift: a tenant participates in phase q's shift
+        # iff q falls on its stride slot, so ~shift_fraction of the fleet
+        # moves each phase and the schedule stays a pure function.
+        stride = max(1, int(round(1.0 / self.shift_fraction)))
+        return sum(1 for q in range(1, phase + 1) if q % stride == tenant % stride)
+
+    def hot_classes(self, tenant: int, phase: int) -> List[int]:
+        """The tenant's hot class set during ``phase`` (pure, seeded)."""
+        if phase < 0:
+            raise ValueError(f"phase must be >= 0, got {phase}")
+        order = np.random.default_rng(
+            (self.drift_seed + 1) * 1_000_003 + tenant
+        ).permutation(self.num_classes)
+        rotation = self._shifts_by(tenant, phase) * self.head_size
+        return [
+            int(order[(rotation + j) % self.num_classes])
+            for j in range(self.head_size)
+        ]
+
+    def labels(
+        self,
+        n: int,
+        tenants: int,
+        tenant_seq: Sequence[int],
+        rng: np.random.Generator,
+    ) -> List[int]:
+        """Per-request true-class labels from each tenant's current hot set.
+
+        Consumes the shared workload ``rng`` (one draw per request) so the
+        label stream is covered by the scenario's determinism contract.
+        """
+        del tenants  # the schedule is per-tenant; fleet size is implicit
+        picks = []
+        for i in range(n):
+            hot = self.hot_classes(int(tenant_seq[i]), i // self.shift_every)
+            picks.append(hot[int(rng.integers(0, len(hot)))])
+        return picks
+
+
 #: Registry of popularity kinds (CLI listing / scenario description).
 POPULARITIES: Dict[str, Type[PopularityModel]] = {
-    cls.kind: cls for cls in (UniformPopularity, ZipfPopularity, HotSetChurn)
+    cls.kind: cls
+    for cls in (UniformPopularity, ZipfPopularity, HotSetChurn, ClassDriftPopularity)
 }
 
 

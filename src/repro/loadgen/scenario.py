@@ -34,7 +34,13 @@ import numpy as np
 
 from ..serve.types import PredictRequest
 from .arrivals import ArrivalProcess, BurstyOnOff, ClosedLoop, ConstantRate, DiurnalRamp, PoissonArrivals
-from .popularity import HotSetChurn, PopularityModel, UniformPopularity, ZipfPopularity
+from .popularity import (
+    ClassDriftPopularity,
+    HotSetChurn,
+    PopularityModel,
+    UniformPopularity,
+    ZipfPopularity,
+)
 
 __all__ = [
     "FaultEvent",
@@ -96,6 +102,9 @@ class ScheduledRequest:
     at: float  #: virtual arrival offset (seconds from workload start)
     tenant: int  #: index into the workload's model_ids
     request: PredictRequest
+    #: True-class label, when the popularity model emits one (drift
+    #: scenarios): the ground truth served-head accuracy is scored against.
+    label: Optional[int] = None
 
 
 @dataclass
@@ -153,6 +162,14 @@ class Scenario:
         rng = np.random.default_rng(seed)
         offsets = self.arrivals.times(self.requests, rng)
         tenants = self.popularity.sequence(self.requests, len(model_ids), rng)
+        # Label-emitting popularity models (class drift) draw one extra
+        # value per request here, after the tenant sequence and before the
+        # input tensors; label-free models consume nothing, so their
+        # workloads are bit-identical to what they were before labels.
+        labels = None
+        labeler = getattr(self.popularity, "labels", None)
+        if callable(labeler):
+            labels = labeler(self.requests, len(model_ids), tenants, rng)
         scheduled = []
         for i, (at, tenant) in enumerate(zip(offsets, tenants)):
             inputs = rng.normal(size=(self.request_batch, *input_shape))
@@ -163,6 +180,7 @@ class Scenario:
                     request=PredictRequest(
                         model_ids[tenant], inputs, request_id=f"{self.name}-{i:05d}"
                     ),
+                    label=None if labels is None else int(labels[i]),
                 )
             )
         return Workload(
@@ -215,6 +233,8 @@ class Workload:
         h = hashlib.sha256()
         for item in self.scheduled:
             h.update(f"{item.at!r}|{item.tenant}|{item.request.request_id}|".encode())
+            if item.label is not None:
+                h.update(f"{item.label}|".encode())
             h.update(item.request.inputs.tobytes())
         for fault in self.faults:
             h.update(repr(sorted(fault.to_dict().items())).encode())
@@ -324,6 +344,32 @@ def _slow_shard() -> Scenario:
     )
 
 
+def _drift_step() -> Scenario:
+    return Scenario(
+        name="drift-step",
+        arrivals=ConstantRate(rate=600.0),
+        popularity=ClassDriftPopularity(
+            num_classes=6, head_size=3, shift_every=48, shift_fraction=1.0
+        ),
+        requests=96,
+        description="every tenant's hot classes step to a new set mid-run — "
+        "served-head accuracy falls off a cliff until re-personalization",
+    )
+
+
+def _drift_rolling() -> Scenario:
+    return Scenario(
+        name="drift-rolling",
+        arrivals=ConstantRate(rate=600.0),
+        popularity=ClassDriftPopularity(
+            num_classes=6, head_size=3, shift_every=24, shift_fraction=0.5
+        ),
+        requests=96,
+        description="staggered drift: half the fleet shifts hot classes each "
+        "phase, so detection and rollout overlap across tenants",
+    )
+
+
 def _cache_poison() -> Scenario:
     return Scenario(
         name="cache-poison",
@@ -350,6 +396,8 @@ SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "shard-failure": _shard_failure,
     "slow-shard": _slow_shard,
     "cache-poison": _cache_poison,
+    "drift-step": _drift_step,
+    "drift-rolling": _drift_rolling,
 }
 
 
@@ -383,5 +431,11 @@ def build_scenario(
             )
             for fault in scenario.faults
         )
+        # Drift schedules are request-indexed like faults: keep the phase
+        # boundary proportional so a smoke-sized run still drifts mid-run.
+        if isinstance(scenario.popularity, ClassDriftPopularity):
+            scenario.popularity.shift_every = max(
+                1, int(round(scenario.popularity.shift_every * scale))
+            )
         scenario.requests = requests
     return scenario

@@ -35,6 +35,7 @@ from .slo import (
     Alert,
     AlertRule,
     SLOMonitor,
+    accuracy_drop,
     default_rules,
     p99_over,
     queue_depth_sustained,
@@ -66,5 +67,6 @@ __all__ = [
     "p99_over",
     "rejection_burn_rate",
     "queue_depth_sustained",
+    "accuracy_drop",
     "default_rules",
 ]

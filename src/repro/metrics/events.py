@@ -54,6 +54,8 @@ EVENT_KINDS = (
     "alert",
     "autoscale",   # one Autoscaler decision (scale_out/scale_in/suppress/clamp)
     "spillover",   # a federated request served off its home cluster
+    "lifecycle",   # one LifecycleManager state transition (SERVING/DRIFTING/...)
+    "rollout",     # rollout table change: split started / promoted / rolled back
 )
 
 

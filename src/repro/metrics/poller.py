@@ -56,6 +56,8 @@ def record_sample(
     ``shards``                              gauge    ``shards`` (cluster only)
     ``shard_queue_pending{shard}``          gauge    ``per_shard[].pending``
     ``shard_completed_total{shard}``        counter  ``per_shard[].telemetry``
+    ``tenant_accuracy{tenant}``             gauge    ``tenants[].accuracy``
+    ``tenant_staleness_s{tenant}``          gauge    ``tenants[].staleness_s``
     ``error_burn_rate``                     gauge    derived (per interval)
     ======================================  =======  ==========================
 
@@ -136,6 +138,27 @@ def record_sample(
         shard_completed.observe_total(
             _num(telemetry, "completed"), t=now, shard=shard_id
         )
+
+    # Optional per-tenant lifecycle block (served-head accuracy/staleness):
+    # stats sources without it pay nothing, sources with it get the labelled
+    # gauges the accuracy-drop rule and the DriftDetector watch.
+    tenant_accuracy = None
+    tenant_staleness = None
+    for row in stats.get("tenants") or []:
+        if not isinstance(row, dict) or "tenant" not in row:
+            continue
+        tenant = str(row.get("tenant"))
+        if tenant_accuracy is None:
+            tenant_accuracy = registry.gauge(
+                "tenant_accuracy",
+                "Served-head accuracy over the tenant's recent window",
+            )
+            tenant_staleness = registry.gauge(
+                "tenant_staleness_s",
+                "Seconds since the tenant's active version was personalized",
+            )
+        tenant_accuracy.set(_num(row, "accuracy"), t=now, tenant=tenant)
+        tenant_staleness.set(_num(row, "staleness_s"), t=now, tenant=tenant)
 
     interval_total = d_completed + d_failed + d_rejected
     burn = (d_failed + d_rejected) / interval_total if interval_total else 0.0

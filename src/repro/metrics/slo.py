@@ -19,7 +19,9 @@ scenarios exercise:
 * :func:`p99_over` — ``latency_ms{quantile="p99"}`` above a threshold;
 * :func:`rejection_burn_rate` — ``error_burn_rate`` (the per-interval
   fraction of failed + rejected outcomes) above a ratio;
-* :func:`queue_depth_sustained` — ``queue_pending`` at or above a depth.
+* :func:`queue_depth_sustained` — ``queue_pending`` at or above a depth;
+* :func:`accuracy_drop` — per-tenant ``tenant_accuracy`` below a floor (the
+  drift signal :class:`repro.lifecycle.DriftDetector` consumes).
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ __all__ = [
     "p99_over",
     "rejection_burn_rate",
     "queue_depth_sustained",
+    "accuracy_drop",
     "default_rules",
 ]
 
@@ -246,6 +249,27 @@ def queue_depth_sustained(depth: float = 64.0, for_samples: int = 3) -> AlertRul
         threshold=float(depth),
         for_samples=for_samples,
         description=f"pending queue >= {depth:g} for {for_samples} samples",
+    )
+
+
+def accuracy_drop(min_accuracy: float = 0.75, for_samples: int = 2) -> AlertRule:
+    """A tenant's served-head accuracy below ``min_accuracy`` for
+    ``for_samples`` straight polls.
+
+    ``tenant_accuracy`` is a per-tenant labelled gauge, so each drifting
+    tenant fires (and resolves) its own alert; the alert's ``tenant`` label
+    tells the lifecycle plane *who* to re-personalize.  Not part of
+    :func:`default_rules` — lifecycle-managed runs install it explicitly.
+    """
+    return AlertRule(
+        name="accuracy-drop",
+        metric="tenant_accuracy",
+        op="<",
+        threshold=float(min_accuracy),
+        for_samples=for_samples,
+        description=(
+            f"served-head accuracy < {min_accuracy:g} for {for_samples} samples"
+        ),
     )
 
 

@@ -15,7 +15,11 @@ Three presets ship with the CLI (``repro pipeline --list-steps``):
 * ``autoscale-compare`` — the autoscaled-vs-static evaluation as a DAG:
   pin a scenario plan, replay it through the deterministic fluid simulator
   under the stock autoscaling policy and under a static fleet pinned at the
-  same peak capacity, then score shard-seconds saved at (proxy) equal SLO.
+  same peak capacity, then score shard-seconds saved at (proxy) equal SLO;
+* ``lifecycle-compare`` — the tenant-lifecycle evaluation as a DAG: pin a
+  class-drift workload, replay it with the lifecycle disabled (static: v1
+  serves forever) and enabled (drift-detect → re-prune → canary → promote),
+  then score the served-head accuracy recovered at held SLO.
 
 Every preset accepts ``smoke=True``, which shrinks it to seconds for CI.
 """
@@ -395,6 +399,105 @@ def _autoscale_compare_steps(smoke: bool = False) -> List[Step]:
 
 
 # ---------------------------------------------------------------------------
+# lifecycle-compare: static vs lifecycle-managed replay of one drift workload
+# ---------------------------------------------------------------------------
+
+def lifecycle_scenario(ctx: StepContext) -> Dict[str, object]:
+    """Pin the drift workload both arms replay (plan digest included)."""
+    from ..loadgen import build_scenario
+
+    p = ctx.params
+    scenario = build_scenario(p["scenario"], requests=int(p["requests"]))
+    return {
+        "scenario": scenario.to_dict(),
+        "name": p["scenario"],
+        "requests": int(p["requests"]),
+        "tenants": int(p["tenants"]),
+        "seed": int(p["seed"]),
+    }
+
+
+def lifecycle_replay(ctx: StepContext) -> Dict[str, object]:
+    """Replay the pinned drift workload with the lifecycle on or off.
+
+    ``params["lifecycle"]`` picks the arm: ``False`` is the static fleet
+    (v1 serves forever — what PRs 1–9 did), ``True`` runs the full
+    drift-detect → re-prune → canary → promote loop.  Both arms are pure
+    functions of the pinned plan, so the content-addressed cache key IS
+    the determinism contract: a re-run cannot change a byte.
+    """
+    from ..lifecycle import run_lifecycle_replay
+
+    p = ctx.params
+    plan = ctx.inputs[ctx.step.deps[0]]
+    return run_lifecycle_replay(
+        scenario=plan["name"],
+        tenants=plan["tenants"],
+        requests=plan["requests"],
+        seed=plan["seed"],
+        lifecycle=bool(p["lifecycle"]),
+    )
+
+
+def lifecycle_compare_step(ctx: StepContext) -> Dict[str, object]:
+    """Score the arms: accuracy recovered at held SLO, plus the audit trail."""
+    static = ctx.inputs["static"]
+    managed = ctx.inputs["managed"]
+    static_final = static["accuracy"]["final_window"] or 0.0
+    managed_final = managed["accuracy"]["final_window"] or 0.0
+    slo_held = (
+        managed["outcomes"]["failed"] == 0
+        and managed["outcomes"]["completed"] == managed["requests"]
+    )
+    return {
+        "scenario": managed["scenario"],
+        "requests": managed["requests"],
+        "static_final_accuracy": _round6(static_final),
+        "managed_final_accuracy": _round6(managed_final),
+        "accuracy_delta": _round6(managed_final - static_final),
+        "promoted": managed["manager"]["promoted"],
+        "rolled_back": managed["manager"]["rolled_back"],
+        "states_seen": sorted({t["to_state"] for t in managed["audit"]}),
+        "slo_held": slo_held,
+        "lifecycle_wins": bool(managed_final > static_final and slo_held),
+    }
+
+
+def _lifecycle_compare_steps(smoke: bool = False) -> List[Step]:
+    requests = 128 if smoke else 192
+    scenario_step = Step(
+        "scenario",
+        lifecycle_scenario,
+        params={
+            "scenario": "drift-step",
+            "requests": requests,
+            "tenants": 4,
+            "seed": 0,
+        },
+    )
+    return [
+        scenario_step,
+        Step(
+            "static",
+            lifecycle_replay,
+            params={"lifecycle": False},
+            deps=("scenario",),
+        ),
+        Step(
+            "managed",
+            lifecycle_replay,
+            params={"lifecycle": True},
+            deps=("scenario",),
+        ),
+        Step(
+            "compare",
+            lifecycle_compare_step,
+            deps=("static", "managed"),
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
 # the registry
 # ---------------------------------------------------------------------------
 
@@ -410,6 +513,7 @@ PIPELINES: Dict[str, Callable[..., List[Step]]] = {
     "fig1": _fig1_steps,
     "loadgen-sweep": _loadgen_sweep_steps,
     "autoscale-compare": _autoscale_compare_steps,
+    "lifecycle-compare": _lifecycle_compare_steps,
 }
 
 

@@ -32,6 +32,16 @@ class EngineCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Lifecycle seam: when the registry tracks tenant versions, a
+        # promote/rollback must never serve a stale engine — drop every
+        # cached version of the tenant the moment its active version flips.
+        subscribe = getattr(registry, "subscribe_versions", None)
+        if callable(subscribe):
+            subscribe(self._on_version_change)
+
+    def _on_version_change(self, tenant: str, old: str, new: str) -> None:
+        for version_id in self.registry.versions(tenant):
+            self.evict(version_id, reason="version_change")
 
     def get(self, model_id: str):
         """Return the engine for ``model_id``, building it on first use.
@@ -72,14 +82,14 @@ class EngineCache:
         self._engines[model_id] = engine
         self._evict_overflow()
 
-    def evict(self, model_id: str) -> bool:
+    def evict(self, model_id: str, reason: str = "explicit") -> bool:
         """Drop one entry (detaching its engine); returns whether it existed."""
         engine = self._engines.pop(model_id, None)
         if engine is None:
             return False
         engine.detach()
         self.evictions += 1
-        emit("cache_evict", model_id=model_id, reason="explicit")
+        emit("cache_evict", model_id=model_id, reason=reason)
         return True
 
     def clear(self) -> None:

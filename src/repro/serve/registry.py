@@ -12,9 +12,18 @@ recorded against one registry replays against a reloaded copy.
 On-disk layout (one directory per model)::
 
     <root>/
+      versions.json   # tenant -> {versions: [...], active: id}; only
+                      # written when any tenant has lifecycle versions
       <model_id>/
         record.json   # arch, num classes, spec, profile, metadata
         state.npz     # parameter data, masks, buffers (Module.state_dict)
+
+Versioning (the lifecycle plane, :mod:`repro.lifecycle`): a tenant's base
+id is version 1; :meth:`ModelRegistry.register_version` stacks further
+versions under ``<tenant>@v<N>`` ids, :meth:`ModelRegistry.set_active`
+flips which one :meth:`ModelRegistry.resolve` routes the tenant's traffic
+to, and version-change subscribers (engine caches) are notified so no
+stale engine survives a promote or rollback.
 """
 
 from __future__ import annotations
@@ -92,6 +101,12 @@ class ModelRegistry:
 
     def __init__(self) -> None:
         self._records: Dict[str, ModelRecord] = {}
+        #: tenant base id -> ordered version ids (the base id is version 1).
+        self._versions: Dict[str, List[str]] = {}
+        #: tenant base id -> the version id traffic resolves to.
+        self._active: Dict[str, str] = {}
+        #: callbacks fired as (tenant, old_active, new_active) on set_active.
+        self._version_subscribers: List = []
 
     # -- registration ---------------------------------------------------------
     def register(
@@ -132,6 +147,90 @@ class ModelRegistry:
 
     def unregister(self, model_id: str) -> None:
         self._records.pop(model_id, None)
+        if model_id in self._versions:
+            # Dropping a tenant's base id drops its whole version history.
+            for version_id in self._versions.pop(model_id):
+                if version_id != model_id:
+                    self._records.pop(version_id, None)
+            self._active.pop(model_id, None)
+            return
+        for tenant, version_ids in self._versions.items():
+            if model_id in version_ids:
+                version_ids.remove(model_id)
+                if self._active.get(tenant) == model_id:
+                    self._active[tenant] = version_ids[-1]
+                break
+
+    # -- versioning -----------------------------------------------------------
+    def register_version(
+        self,
+        tenant: str,
+        module: Module,
+        spec: Optional[EngineSpec] = None,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Stack a new version of ``tenant``'s model and return its id.
+
+        The tenant's originally registered id is version 1; this call
+        stores the module under the stable id ``<tenant>@v<N>`` (N = 2, 3,
+        ...) *without* touching which version serves traffic — promotion is
+        an explicit, separate :meth:`set_active` call, which is what lets a
+        canary phase route a fraction of traffic at the new id first.
+        """
+        base = self.get(tenant)  # KeyError for unknown tenants
+        version_ids = self._versions.setdefault(tenant, [tenant])
+        self._active.setdefault(tenant, tenant)
+        version_id = f"{tenant}@v{len(version_ids) + 1}"
+        self.register(
+            module,
+            spec=spec or base.spec,
+            model_id=version_id,
+            profile=base.profile,
+            metadata=metadata,
+        )
+        version_ids.append(version_id)
+        return version_id
+
+    def versions(self, tenant: str) -> List[str]:
+        """All version ids for ``tenant``, oldest first (base id = v1)."""
+        if tenant in self._versions:
+            return list(self._versions[tenant])
+        self.get(tenant)  # KeyError for unknown tenants
+        return [tenant]
+
+    def active_version(self, tenant: str) -> str:
+        """The version id ``tenant``'s traffic currently resolves to."""
+        if tenant in self._active:
+            return self._active[tenant]
+        self.get(tenant)  # KeyError for unknown tenants
+        return tenant
+
+    def resolve(self, model_id: str) -> str:
+        """Map a tenant address to its active version (pass-through else)."""
+        return self._active.get(model_id, model_id)
+
+    def set_active(self, tenant: str, version_id: str) -> str:
+        """Flip which version serves ``tenant`` and notify subscribers.
+
+        Subscribers are notified even when the active version is unchanged
+        (a rollback re-asserts the old version): caches must still drop any
+        engines built for the abandoned canary version.
+        """
+        if version_id not in self.versions(tenant):
+            raise KeyError(
+                f"{version_id!r} is not a version of {tenant!r}; "
+                f"versions: {self.versions(tenant)}"
+            )
+        old = self.active_version(tenant)
+        self._versions.setdefault(tenant, [tenant])
+        self._active[tenant] = version_id
+        for callback in list(self._version_subscribers):
+            callback(tenant, old, version_id)
+        return old
+
+    def subscribe_versions(self, callback) -> None:
+        """Register ``callback(tenant, old_active, new_active)``."""
+        self._version_subscribers.append(callback)
 
     # -- lookup ---------------------------------------------------------------
     def get(self, model_id: str) -> ModelRecord:
@@ -170,6 +269,17 @@ class ModelRegistry:
                 json.dumps(record.record_dict(), indent=2, sort_keys=True)
             )
             np.savez(model_dir / "state.npz", **record.state)
+        if self._versions:
+            payload = {
+                tenant: {
+                    "versions": list(version_ids),
+                    "active": self.active_version(tenant),
+                }
+                for tenant, version_ids in self._versions.items()
+            }
+            (root / "versions.json").write_text(
+                json.dumps(payload, indent=2, sort_keys=True)
+            )
         return root
 
     @classmethod
@@ -200,4 +310,17 @@ class ModelRegistry:
                 metadata=payload.get("metadata", {}),
             )
             registry._records[record.model_id] = record
+        versions_path = root / "versions.json"
+        if versions_path.is_file():
+            payload = json.loads(versions_path.read_text())
+            for tenant in sorted(payload):
+                entry = payload[tenant]
+                version_ids = [v for v in entry["versions"] if v in registry]
+                if not version_ids:
+                    continue
+                registry._versions[tenant] = version_ids
+                active = entry.get("active", tenant)
+                registry._active[tenant] = (
+                    active if active in version_ids else version_ids[-1]
+                )
         return registry
